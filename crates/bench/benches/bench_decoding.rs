@@ -1,0 +1,39 @@
+//! Criterion: decode time of both schemes as a function of f
+//! (Thm 3.6: poly(f, log n); Thm 3.7: O~(f)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftl_cycle_space::CycleSpaceScheme;
+use ftl_graph::generators;
+use ftl_seeded::Seed;
+use ftl_sketch::{SketchParams, SketchScheme};
+
+fn bench_decoding(c: &mut Criterion) {
+    let mut rng = ftl_bench::rng(2);
+    let g = generators::connected_random(512, 8.0 / 512.0, 1, &mut rng);
+    let cs = CycleSpaceScheme::label(&g, 64, Seed::new(3)).unwrap();
+    let sk = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(3)).unwrap();
+    let mut group = c.benchmark_group("decoding");
+    for f in [4usize, 16, 64] {
+        let faults = ftl_bench::sample_faults(&g, f, &mut rng);
+        let s = ftl_bench::sample_vertex(&g, &mut rng);
+        let t = ftl_bench::sample_vertex(&g, &mut rng);
+        let csf: Vec<_> = faults.iter().map(|&e| cs.edge_label(e)).collect();
+        let (csa, csb) = (cs.vertex_label(s), cs.vertex_label(t));
+        group.bench_with_input(BenchmarkId::new("cycle_space", f), &csf, |b, fl| {
+            b.iter(|| ftl_cycle_space::decode(&csa, &csb, fl))
+        });
+        let skf: Vec<_> = faults.iter().map(|&e| sk.edge_label(e)).collect();
+        let (ska, skb) = (sk.vertex_label(s), sk.vertex_label(t));
+        group.bench_with_input(BenchmarkId::new("sketch", f), &skf, |b, fl| {
+            b.iter(|| ftl_sketch::decode(&ska, &skb, fl))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decoding
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: FT approximate distance queries (Theorem 1.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::generators;
+use ftl_seeded::Seed;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut rng = ftl_bench::rng(3);
+    let g = generators::random_weighted_grid(6, 6, 8, &mut rng);
+    let mut group = c.benchmark_group("distance_query");
+    for k in [2u32, 3] {
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(k), Seed::new(4));
+        for f in [1usize, 3] {
+            let faults = ftl_bench::sample_faults(&g, f, &mut rng);
+            let s = ftl_bench::sample_vertex(&g, &mut rng);
+            let t = ftl_bench::sample_vertex(&g, &mut rng);
+            group.bench_function(BenchmarkId::new(format!("k{k}"), f), |b| {
+                b.iter(|| dl.query(s, t, &faults))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distance
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: labeling time of both connectivity schemes (Theorems 3.6/3.7
+//! claim near-linear O~(m) labeling time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftl_cycle_space::CycleSpaceScheme;
+use ftl_graph::generators;
+use ftl_seeded::Seed;
+use ftl_sketch::{SketchParams, SketchScheme};
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut rng = ftl_bench::rng(1);
+    let mut group = c.benchmark_group("labeling");
+    for n in [64usize, 256, 1024] {
+        let g = generators::connected_random(n, 8.0 / n as f64, 1, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cycle_space_f16", n), &g, |b, g| {
+            b.iter(|| CycleSpaceScheme::label(g, 16, Seed::new(1)).unwrap())
+        });
+        let params = SketchParams::for_graph(&g).with_units(8);
+        group.bench_with_input(BenchmarkId::new("sketch_u8", n), &g, |b, g| {
+            b.iter(|| SketchScheme::label(g, &params, Seed::new(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_labeling
+}
+criterion_main!(benches);

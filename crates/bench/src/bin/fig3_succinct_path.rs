@@ -1,0 +1,75 @@
+//! E4 / Figure 3: succinct s-t path extraction (Lemma 3.17): validity and
+//! length statistics of the alternating 0/1-labeled path.
+
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
+use ftl_graph::{generators, VertexId};
+use ftl_seeded::Seed;
+use ftl_sketch::{decode, PathSegment, SketchParams, SketchScheme};
+
+fn main() {
+    let mut rng = ftl_bench::rng(0xF163);
+    let g = generators::connected_random(64, 0.05, 1, &mut rng);
+    let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(3)).unwrap();
+    let mut rows = Vec::new();
+    for f in [1usize, 2, 4, 8] {
+        let trials = 300;
+        let mut connected_cases = 0usize;
+        let mut total_segments = 0usize;
+        let mut total_recovery = 0usize;
+        let mut max_recovery = 0usize;
+        let mut valid = 0usize;
+        for _ in 0..trials {
+            let faults = ftl_bench::sample_faults(&g, f, &mut rng);
+            let s = ftl_bench::sample_vertex(&g, &mut rng);
+            let t = ftl_bench::sample_vertex(&g, &mut rng);
+            let fl: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+            let out = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+            let mask = forbidden_mask(&g, &faults);
+            assert_eq!(out.connected, connected_avoiding(&g, s, t, &mask));
+            let Some(path) = out.path else { continue };
+            connected_cases += 1;
+            total_segments += path.segments.len();
+            let rec = path.num_recovery_edges();
+            total_recovery += rec;
+            max_recovery = max_recovery.max(rec);
+            // Validity: continuity + recovery edges are real graph edges.
+            let mut cur = s.raw();
+            let mut good = true;
+            for seg in &path.segments {
+                match seg {
+                    PathSegment::TreePath { from, to } => {
+                        good &= from.id == cur;
+                        cur = to.id;
+                    }
+                    PathSegment::RecoveryEdge { from, to, eid } => {
+                        good &= from.id == cur;
+                        good &= g
+                            .find_edge(
+                                VertexId::from_raw(eid.lo),
+                                VertexId::from_raw(eid.hi),
+                            )
+                            .is_some();
+                        cur = to.id;
+                    }
+                }
+            }
+            good &= cur == t.raw();
+            if good {
+                valid += 1;
+            }
+        }
+        rows.push(vec![
+            f.to_string(),
+            connected_cases.to_string(),
+            format!("{valid}/{connected_cases}"),
+            ftl_bench::f2(total_segments as f64 / connected_cases.max(1) as f64),
+            ftl_bench::f2(total_recovery as f64 / connected_cases.max(1) as f64),
+            format!("{max_recovery} (bound f+1 = {})", f + 1),
+        ]);
+    }
+    ftl_bench::print_table(
+        "E4 / Figure 3: succinct paths (Lemma 3.17), er-64",
+        &["f", "connected queries", "valid paths", "avg segments", "avg recovery edges", "max recovery edges"],
+        &rows,
+    );
+}

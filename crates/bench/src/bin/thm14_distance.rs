@@ -1,0 +1,55 @@
+//! E8 / Theorem 1.4: FT approximate distance labels — measured stretch vs
+//! the (8k-2)(|F|+1) guarantee, and label-size scaling in k.
+
+use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::shortest_path::distance_avoiding;
+use ftl_graph::traversal::forbidden_mask;
+use ftl_graph::generators;
+use ftl_seeded::Seed;
+
+fn main() {
+    let mut rng = ftl_bench::rng(0xE8);
+    let g = generators::random_weighted_grid(6, 6, 8, &mut rng);
+    let mut rows = Vec::new();
+    for k in [1u32, 2, 3, 4] {
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(k), Seed::new(k as u64));
+        for f in [0usize, 1, 2, 3] {
+            let trials = 150;
+            let mut worst: f64 = 1.0;
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            let mut mism = 0usize;
+            for _ in 0..trials {
+                let faults = ftl_bench::sample_faults(&g, f, &mut rng);
+                let s = ftl_bench::sample_vertex(&g, &mut rng);
+                let t = ftl_bench::sample_vertex(&g, &mut rng);
+                let est = dl.query(s, t, &faults);
+                let truth = distance_avoiding(&g, s, t, &forbidden_mask(&g, &faults));
+                match (est, truth) {
+                    (Some(e), Some(d)) if d > 0 => {
+                        let r = e.distance as f64 / d as f64;
+                        worst = worst.max(r);
+                        sum += r;
+                        cnt += 1;
+                    }
+                    (Some(_), Some(_)) | (None, None) => {}
+                    _ => mism += 1,
+                }
+            }
+            rows.push(vec![
+                k.to_string(),
+                f.to_string(),
+                ftl_bench::f2(sum / cnt.max(1) as f64),
+                ftl_bench::f2(worst),
+                dl.stretch_bound(f).to_string(),
+                ftl_bench::fmt_bits(dl.max_vertex_label_bits(&g)),
+                mism.to_string(),
+            ]);
+        }
+    }
+    ftl_bench::print_table(
+        "E8 / Theorem 1.4: distance labels on wgrid-6x6 (paper bound (8k-2)(|F|+1))",
+        &["k", "f", "mean stretch", "worst stretch", "paper bound", "max vertex label", "mismatches"],
+        &rows,
+    );
+}

@@ -1,0 +1,319 @@
+//! `f`-FT approximate distance labels (Section 4, Theorem 1.4 / Lemma 4.3).
+//!
+//! The transformation of Chechik et al. [CLPR12]: for every distance scale
+//! `2^i` build a tree cover of `G \ H_i` (heavy edges removed, Eq. (4)),
+//! instantiate the FT *connectivity* labels on each cluster subgraph
+//! `G_{i,j} = (G \ H_i)[V(T_{i,j})]` with the cover tree as spanning tree,
+//! and answer a `⟨s, t, F⟩` distance query by scanning scales upward: the
+//! first scale whose home cluster of `s` contains `t` and keeps them
+//! connected yields the estimate `(4k−1)·(|F|+1)·2^i`, which satisfies
+//!
+//! ```text
+//! dist_{G\F}(s,t) <= δ <= (8k−2)(|F|+1)·dist_{G\F}(s,t).
+//! ```
+
+use ftl_graph::{EdgeId, Graph, VertexId};
+use ftl_seeded::Seed;
+use ftl_sketch::{SketchParams, SketchScheme};
+use ftl_tree_cover::TreeCover;
+
+/// Parameters of the distance labeling.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct DistanceParams {
+    /// Stretch parameter `k >= 1`.
+    pub k: u32,
+    /// Override for the number of sketch units per connectivity labeling
+    /// (`None` = the per-graph default). Experiments lower this to trade
+    /// failure probability for label size.
+    pub units: Option<usize>,
+}
+
+impl DistanceParams {
+    /// Default parameters for a given stretch `k`.
+    pub fn new(k: u32) -> Self {
+        DistanceParams { k, units: None }
+    }
+
+    /// Sets the sketch-unit override.
+    pub fn with_units(self, units: usize) -> Self {
+        DistanceParams {
+            units: Some(units),
+            ..self
+        }
+    }
+}
+
+/// One distance scale `i`: the tree cover of `G \ H_i` and a connectivity
+/// labeling per cover tree.
+struct Scale {
+    /// `ρ = 2^i`.
+    radius: u64,
+    cover: TreeCover,
+    /// One sketch-scheme instance per cover tree (local ids of the
+    /// cluster subgraph).
+    labelings: Vec<SketchScheme>,
+}
+
+/// The result of a distance query.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct DistanceEstimate {
+    /// The estimate `δ(s, t, F)`.
+    pub distance: u64,
+    /// The scale index the answer came from.
+    pub scale: usize,
+}
+
+/// An `f`-FT approximate distance labeling (Theorem 1.4).
+///
+/// This struct owns the full label set; queries consult only the label
+/// material of `⟨s, t, F⟩` (plus the per-label `i*(s)` home indices), as in
+/// the paper.
+pub struct DistanceLabeling {
+    k: u32,
+    scales: Vec<Scale>,
+}
+
+impl DistanceLabeling {
+    /// Builds the labeling. `K = ⌈log₂(nW)⌉ + 1` scales are materialized.
+    pub fn new(graph: &Graph, params: DistanceParams, seed: Seed) -> Self {
+        assert!(params.k >= 1);
+        let num_scales = graph.num_distance_scales() as usize;
+        let mut scales = Vec::with_capacity(num_scales);
+        for i in 0..num_scales {
+            let radius = 1u64 << i.min(62);
+            // Heavy edges H_i: weight exceeding the scale.
+            let heavy: Vec<bool> = graph.edges().iter().map(|e| e.weight() > radius).collect();
+            let cover = TreeCover::build(graph, &heavy, radius, params.k);
+            let mut labelings = Vec::with_capacity(cover.len());
+            for (j, tree) in cover.trees.iter().enumerate() {
+                let mut sp = SketchParams::for_graph(tree.sub.graph());
+                if let Some(u) = params.units {
+                    sp = sp.with_units(u);
+                }
+                let scheme = SketchScheme::label_with_tree(
+                    tree.sub.graph(),
+                    &tree.tree,
+                    &sp,
+                    seed.derive(((i as u64) << 32) | j as u64).derive(0x1D),
+                    seed.derive(((i as u64) << 32) | j as u64).derive(0x45),
+                    None,
+                )
+                .expect("cover tree spans its cluster");
+                labelings.push(scheme);
+            }
+            scales.push(Scale {
+                radius,
+                cover,
+                labelings,
+            });
+        }
+        DistanceLabeling { k: params.k, scales }
+    }
+
+    /// Stretch parameter `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of scales `K`.
+    pub fn num_scales(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// The worst-case stretch factor `(8k−2)(f+1)` promised for `f` faults.
+    pub fn stretch_bound(&self, f: usize) -> u64 {
+        (8 * self.k as u64 - 2) * (f as u64 + 1)
+    }
+
+    /// Answers a `⟨s, t, F⟩` distance query (the decoding algorithm of
+    /// Section 4).
+    ///
+    /// Returns `None` when `s` and `t` are disconnected in `G \ F`
+    /// (δ = ∞ in the paper).
+    pub fn query(&self, s: VertexId, t: VertexId, faults: &[EdgeId]) -> Option<DistanceEstimate> {
+        if s == t {
+            return Some(DistanceEstimate {
+                distance: 0,
+                scale: 0,
+            });
+        }
+        let fplus1 = faults.len() as u64 + 1;
+        for (i, scale) in self.scales.iter().enumerate() {
+            let j = scale.cover.home[s.index()];
+            let tree = &scale.cover.trees[j];
+            let Some(local_t) = tree.sub.to_local_vertex(t) else {
+                continue;
+            };
+            let local_s = tree.sub.to_local_vertex(s).expect("s is in its home tree");
+            let scheme = &scale.labelings[j];
+            // F_i = F ∩ G_{i,i*(s)}, translated to local edge ids.
+            let fl: Vec<_> = faults
+                .iter()
+                .filter_map(|&e| tree.sub.to_local_edge(e))
+                .map(|le| scheme.edge_label(le))
+                .collect();
+            let out = ftl_sketch::decode(
+                &scheme.vertex_label(local_s),
+                &scheme.vertex_label(local_t),
+                &fl,
+            );
+            if out.connected {
+                return Some(DistanceEstimate {
+                    distance: (4 * self.k as u64 - 1) * fplus1 * scale.radius,
+                    scale: i,
+                });
+            }
+        }
+        None
+    }
+
+    /// Total number of (vertex, tree) incidences across all scales — the
+    /// size driver of Theorem 1.4's label bound.
+    pub fn total_tree_vertices(&self) -> usize {
+        self.scales
+            .iter()
+            .map(|s| s.cover.total_tree_vertices())
+            .sum()
+    }
+
+    /// Upper bound on the bits of the largest vertex label: for each scale
+    /// and each tree containing the vertex, one connectivity vertex label,
+    /// plus the home index.
+    pub fn max_vertex_label_bits(&self, graph: &Graph) -> usize {
+        (0..graph.num_vertices())
+            .map(|i| {
+                let v = VertexId::new(i);
+                self.scales
+                    .iter()
+                    .map(|sc| {
+                        let per_tree: usize = sc
+                            .cover
+                            .trees
+                            .iter()
+                            .zip(&sc.labelings)
+                            .filter(|(t, _)| t.sub.contains_vertex(v))
+                            .map(|(_, l)| l.vertex_label_bits() + 64)
+                            .sum();
+                        per_tree + 32 // i*(v) index
+                    })
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_graph::shortest_path::distance_avoiding;
+    use ftl_graph::traversal::forbidden_mask;
+    use ftl_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Checks soundness (δ >= dist) and the stretch bound (δ <= bound·dist)
+    /// for a batch of random queries.
+    fn check_queries(g: &Graph, dl: &DistanceLabeling, f: usize, rng: &mut StdRng, queries: usize) {
+        for _ in 0..queries {
+            let s = VertexId::new(rng.gen_range(0..g.num_vertices()));
+            let t = VertexId::new(rng.gen_range(0..g.num_vertices()));
+            let mut faults: Vec<EdgeId> = Vec::new();
+            while faults.len() < f.min(g.num_edges()) {
+                let e = EdgeId::new(rng.gen_range(0..g.num_edges()));
+                if !faults.contains(&e) {
+                    faults.push(e);
+                }
+            }
+            let mask = forbidden_mask(g, &faults);
+            let truth = distance_avoiding(g, s, t, &mask);
+            let est = dl.query(s, t, &faults);
+            match (truth, est) {
+                (None, None) => {}
+                (Some(d), Some(e)) => {
+                    assert!(e.distance >= d, "underestimate: {} < {d}", e.distance);
+                    let bound = dl.stretch_bound(faults.len());
+                    assert!(
+                        e.distance <= bound * d.max(1),
+                        "stretch violated: {} > {bound} * {d}",
+                        e.distance
+                    );
+                }
+                (td, ed) => panic!("connectivity mismatch: truth {td:?} vs estimate {ed:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_grid_stretch() {
+        let g = generators::grid(5, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [1, 2, 3] {
+            let dl = DistanceLabeling::new(&g, DistanceParams::new(k), Seed::new(7));
+            for f in [0, 1, 2] {
+                check_queries(&g, &dl, f, &mut rng, 30);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_grid_stretch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::random_weighted_grid(4, 5, 8, &mut rng);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(9));
+        for f in [0, 1, 2, 3] {
+            check_queries(&g, &dl, f, &mut rng, 25);
+        }
+    }
+
+    #[test]
+    fn random_graph_stretch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::connected_random(30, 0.08, 4, &mut rng);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(11));
+        for f in [0, 1, 2] {
+            check_queries(&g, &dl, f, &mut rng, 30);
+        }
+    }
+
+    #[test]
+    fn identical_endpoints() {
+        let g = generators::path(4);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(1));
+        let est = dl.query(VertexId::new(2), VertexId::new(2), &[EdgeId::new(0)]);
+        assert_eq!(est.unwrap().distance, 0);
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let g = generators::path(5);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(2));
+        // Cutting edge 2 separates {0,1,2} from {3,4}.
+        let est = dl.query(VertexId::new(0), VertexId::new(4), &[EdgeId::new(2)]);
+        assert!(est.is_none());
+        let est = dl.query(VertexId::new(0), VertexId::new(2), &[EdgeId::new(2)]);
+        assert!(est.is_some());
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_scale() {
+        // Nearby pairs should resolve at smaller scales than distant pairs.
+        let g = generators::path(32);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(3));
+        let near = dl.query(VertexId::new(0), VertexId::new(1), &[]).unwrap();
+        let far = dl.query(VertexId::new(0), VertexId::new(31), &[]).unwrap();
+        assert!(near.scale <= far.scale);
+        assert!(near.distance <= far.distance);
+    }
+
+    #[test]
+    fn label_accounting_positive() {
+        let g = generators::grid(4, 4);
+        let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(4));
+        assert!(dl.total_tree_vertices() >= g.num_vertices());
+        assert!(dl.max_vertex_label_bits(&g) > 0);
+        assert!(dl.num_scales() >= 4);
+        assert_eq!(dl.k(), 2);
+        assert_eq!(dl.stretch_bound(2), 14 * 3);
+    }
+}

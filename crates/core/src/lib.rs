@@ -1,0 +1,43 @@
+//! # ftl-core — Fault-Tolerant Labeling Schemes
+//!
+//! The headline API of the reproduction of *"Fault-Tolerant Labeling and
+//! Compact Routing Schemes"* (Dory–Parter, PODC 2021):
+//!
+//! * [`connectivity`] — `f`-FT **connectivity labels** for *general* graphs
+//!   (Theorem 1.3): given only the labels of `s`, `t` and up to `f` failing
+//!   edges `F`, decide whether `s` and `t` are connected in `G \ F`. Two
+//!   interchangeable constructions:
+//!   [`SchemeKind::CycleSpace`](connectivity::SchemeKind) with
+//!   `O(f + log n)`-bit labels (Theorem 3.6) and
+//!   [`SchemeKind::Sketch`](connectivity::SchemeKind) with `O(log³ n)`-bit
+//!   labels independent of `f` (Theorem 3.7).
+//! * [`distance`] — `f`-FT **approximate distance labels** (Theorem 1.4):
+//!   labels of `Õ(k·n^{1/k})` size answering `⟨s, t, F⟩` distance queries
+//!   with stretch `(8k−2)(|F|+1)`.
+//!
+//! Unlike the per-component building blocks in `ftl-cycle-space` /
+//! `ftl-sketch`, everything here accepts **arbitrary** (possibly
+//! disconnected, weighted, multi-) graphs: the labels carry a connected
+//! component id and the schemes are applied per component, exactly as the
+//! paper prescribes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftl_core::connectivity::{ConnectivityLabeling, SchemeKind};
+//! use ftl_graph::{generators, EdgeId, VertexId};
+//! use ftl_seeded::Seed;
+//!
+//! let g = generators::grid(4, 4);
+//! let labeling = ConnectivityLabeling::new(&g, SchemeKind::Sketch, 4, Seed::new(7));
+//! let s = labeling.vertex_label(VertexId::new(0));
+//! let t = labeling.vertex_label(VertexId::new(15));
+//! let faults = vec![labeling.edge_label(EdgeId::new(0))];
+//! assert!(labeling.decode(&s, &t, &faults));
+//! ```
+
+pub mod connectivity;
+pub mod distance;
+
+pub use connectivity::{ConnectivityLabeling, SchemeKind};
+pub use distance::{DistanceLabeling, DistanceParams};

@@ -1,0 +1,312 @@
+//! Packed bit vectors over GF(2).
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit vector packed into 64-bit words, with XOR as addition
+/// over GF(2).
+///
+/// All label material in the reproduction (cycle-space labels φ(e), sketch
+/// cells, augmented vectors φ′(e)) is carried as `BitVec`s.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// The all-zero vector of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Builds a vector from explicit bits (`bits[0]` is bit 0).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector of `len` bits from little-endian words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word slice is too short for `len` bits or if bits beyond
+    /// `len` are set.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert!(words.len() * WORD_BITS >= len, "not enough words");
+        let mut v = BitVec {
+            words: words[..len.div_ceil(WORD_BITS)].to_vec(),
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Whether all bits are zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// In-place XOR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Concatenates `self` followed by `other`.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in self.ones() {
+            out.set(i, true);
+        }
+        for i in other.ones() {
+            out.set(self.len + i, true);
+        }
+        out
+    }
+
+    /// The sub-vector of bits `range.start .. range.end`.
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        assert!(start <= end && end <= self.len);
+        let mut out = BitVec::zeros(end - start);
+        for i in start..end {
+            if self.get(i) {
+                out.set(i - start, true);
+            }
+        }
+        out
+    }
+
+    /// Raw little-endian words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Fills the vector with random bits from the supplied word source.
+    pub fn randomize(&mut self, mut next_word: impl FnMut() -> u64) {
+        for w in self.words.iter_mut() {
+            *w = next_word();
+        }
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn xor_is_gf2_addition() {
+        let a = BitVec::from_bits(&[true, true, false, false]);
+        let b = BitVec::from_bits(&[true, false, true, false]);
+        let c = &a ^ &b;
+        assert_eq!(c, BitVec::from_bits(&[false, true, true, false]));
+        // x ^ x = 0
+        let z = &a ^ &a;
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn xor_assign_matches_xor() {
+        let a = BitVec::from_bits(&[true, false, true]);
+        let b = BitVec::from_bits(&[true, true, false]);
+        let mut c = a.clone();
+        c ^= &b;
+        assert_eq!(c, &a ^ &b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_length_mismatch_panics() {
+        let mut a = BitVec::zeros(3);
+        let b = BitVec::zeros(4);
+        a.xor_assign(&b);
+    }
+
+    #[test]
+    fn first_one_and_ones() {
+        let mut v = BitVec::zeros(200);
+        assert_eq!(v.first_one(), None);
+        v.set(70, true);
+        v.set(150, true);
+        assert_eq!(v.first_one(), Some(70));
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![70, 150]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = BitVec::from_bits(&[true, false]);
+        let b = BitVec::from_bits(&[false, true, true]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.slice(0, 2), a);
+        assert_eq!(c.slice(2, 5), b);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(&[u64::MAX], 10);
+        assert_eq!(v.count_ones(), 10);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn randomize_respects_length() {
+        let mut v = BitVec::zeros(67);
+        let mut x = 0u64;
+        v.randomize(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            !0
+        });
+        assert_eq!(v.count_ones(), 67);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert!(v.is_zero());
+        assert_eq!(v.ones().count(), 0);
+    }
+
+    #[test]
+    fn debug_shows_bits() {
+        let v = BitVec::from_bits(&[true, false, true]);
+        assert_eq!(format!("{v:?}"), "BitVec[101]");
+    }
+}

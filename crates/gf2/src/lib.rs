@@ -1,0 +1,31 @@
+//! GF(2) linear algebra for the fast cycle-space decoder (Section 3.1.3).
+//!
+//! The decoder of Lemma 3.5 reduces fault-tolerant connectivity to asking
+//! whether one of two linear systems `A·x = w₁ / A·x = w₂` over GF(2) has a
+//! solution, where the columns of `A` are the augmented cycle-space labels
+//! `φ′(e)` of the faulty edges. This crate provides:
+//!
+//! * [`BitVec`]: packed bit vectors with XOR composition;
+//! * [`Basis`]: an incremental GF(2) basis that tracks, for every basis
+//!   vector, *which input vectors combine to it* — so a solution certificate
+//!   (the fault subset `F′`) falls out of the elimination;
+//! * [`solve`]: membership of a target in the span, with certificate.
+//!
+//! # Example
+//!
+//! ```
+//! use ftl_gf2::{BitVec, solve};
+//!
+//! let a = BitVec::from_bits(&[true, false, true]);
+//! let b = BitVec::from_bits(&[false, true, true]);
+//! let t = BitVec::from_bits(&[true, true, false]);
+//! // a ^ b = t, so the certificate is {0, 1}.
+//! let x = solve(&[a, b], &t).expect("solvable");
+//! assert!(x.get(0) && x.get(1));
+//! ```
+
+pub mod bitvec;
+pub mod solve;
+
+pub use bitvec::BitVec;
+pub use solve::{solve, solve_brute_force, Basis};

@@ -1,0 +1,135 @@
+//! Property-based tests for GF(2) algebra.
+
+use ftl_gf2::{solve, solve_brute_force, Basis, BitVec};
+use proptest::prelude::*;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+proptest! {
+    /// XOR is associative, commutative, self-inverse.
+    #[test]
+    fn xor_group_laws(len in 1usize..200,
+                      seed_a in any::<u64>(), seed_b in any::<u64>(), seed_c in any::<u64>()) {
+        let mk = |seed: u64| {
+            let mut v = BitVec::zeros(len);
+            let mut s = seed | 1;
+            v.randomize(|| { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s });
+            v
+        };
+        let (a, b, c) = (mk(seed_a), mk(seed_b), mk(seed_c));
+        prop_assert_eq!(&(&a ^ &b) ^ &c, &a ^ &(&b ^ &c));
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+        prop_assert!((&a ^ &a).is_zero());
+        let zero = BitVec::zeros(len);
+        prop_assert_eq!(&a ^ &zero, a.clone());
+    }
+
+    /// Concat then slice round-trips.
+    #[test]
+    fn concat_slice_roundtrip(la in 0usize..80, lb in 0usize..80, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let mut a = BitVec::zeros(la);
+        a.randomize(&mut next);
+        let mut b = BitVec::zeros(lb);
+        b.randomize(&mut next);
+        let c = a.concat(&b);
+        prop_assert_eq!(c.slice(0, la), a);
+        prop_assert_eq!(c.slice(la, la + lb), b);
+        prop_assert_eq!(c.count_ones(), c.ones().count());
+    }
+
+    /// The fast solver agrees with brute force, and certificates verify.
+    #[test]
+    fn solver_matches_brute_force(
+        dim in 1usize..16,
+        cols in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..16), 0..8),
+        target in proptest::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let cols: Vec<BitVec> = cols
+            .into_iter()
+            .map(|mut c| {
+                c.resize(dim, false);
+                BitVec::from_bits(&c)
+            })
+            .collect();
+        let mut t = target;
+        t.resize(dim, false);
+        let t = BitVec::from_bits(&t);
+        let fast = solve(&cols, &t);
+        let slow = solve_brute_force(&cols, &t);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let Some(x) = fast {
+            let mut acc = BitVec::zeros(dim);
+            for i in x.ones() {
+                acc.xor_assign(&cols[i]);
+            }
+            prop_assert_eq!(acc, t);
+        }
+    }
+
+    /// Rank never exceeds min(dim, inserted), and inserting a linear
+    /// combination never raises it.
+    #[test]
+    fn rank_bounds(
+        dim in 1usize..20,
+        vecs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..20), 1..10),
+    ) {
+        let vecs: Vec<BitVec> = vecs
+            .into_iter()
+            .map(|mut v| {
+                v.resize(dim, false);
+                BitVec::from_bits(&v)
+            })
+            .collect();
+        let mut basis = Basis::new(dim, vecs.len() + 1);
+        for v in &vecs {
+            basis.insert(v);
+        }
+        prop_assert!(basis.rank() <= dim.min(vecs.len()));
+        // XOR of the first two (if present) is dependent.
+        if vecs.len() >= 2 {
+            let dep = &vecs[0] ^ &vecs[1];
+            let before = basis.rank();
+            basis.insert(&dep);
+            prop_assert_eq!(basis.rank(), before);
+        }
+    }
+
+    /// express() is consistent: any XOR-combination of inserted vectors is
+    /// expressible, and the certificate reproduces it.
+    #[test]
+    fn express_closure(
+        dim in 1usize..16,
+        vecs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..16), 1..8),
+        mask in any::<u8>(),
+    ) {
+        let vecs: Vec<BitVec> = vecs
+            .into_iter()
+            .map(|mut v| {
+                v.resize(dim, false);
+                BitVec::from_bits(&v)
+            })
+            .collect();
+        let mut basis = Basis::new(dim, vecs.len());
+        for v in &vecs {
+            basis.insert(v);
+        }
+        let mut target = BitVec::zeros(dim);
+        for (i, v) in vecs.iter().enumerate() {
+            if (mask >> (i % 8)) & 1 == 1 {
+                target.xor_assign(v);
+            }
+        }
+        let x = basis.express(&target);
+        prop_assert!(x.is_some(), "combination of inserted vectors must be in span");
+        let x = x.unwrap();
+        let mut acc = BitVec::zeros(dim);
+        for i in x.ones() {
+            acc.xor_assign(&vecs[i]);
+        }
+        prop_assert_eq!(acc, target);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was out of the `0..n` range.
+    VertexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge index was out of the `0..m` range.
+    EdgeOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of edges in the graph.
+        num_edges: usize,
+    },
+    /// An operation required a connected graph but the graph was disconnected.
+    Disconnected,
+    /// An edge weight of zero was supplied; the paper assumes positive weights.
+    ZeroWeight,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                index,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex index {index} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::EdgeOutOfRange { index, num_edges } => write!(
+                f,
+                "edge index {index} out of range for graph with {num_edges} edges"
+            ),
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+            GraphError::ZeroWeight => write!(f, "edge weights must be positive"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange {
+            index: 9,
+            num_vertices: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(!GraphError::Disconnected.to_string().is_empty());
+        assert!(!GraphError::ZeroWeight.to_string().is_empty());
+        assert!(!GraphError::EdgeOutOfRange {
+            index: 1,
+            num_edges: 0
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::Disconnected);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Weighted shortest paths: Dijkstra, truncated Dijkstra (balls), and
+//! shortest-path trees.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a (possibly truncated) Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// `dist[v]` = shortest weighted distance from the source, or `None`.
+    pub dist: Vec<Option<u64>>,
+    /// `parent[v]` = (predecessor, edge used) on some shortest path.
+    pub parent: Vec<Option<(VertexId, EdgeId)>>,
+}
+
+impl DijkstraResult {
+    /// Reconstructs the vertex/edge path from the source to `t`, if reached.
+    ///
+    /// Returns the edge ids in order from source to `t`.
+    pub fn path_to(&self, t: VertexId) -> Option<Vec<EdgeId>> {
+        self.dist[t.index()]?;
+        let mut edges = Vec::new();
+        let mut cur = t;
+        while let Some((p, e)) = self.parent[cur.index()] {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Dijkstra from `source`, skipping `forbidden` edges, visiting only vertices
+/// at distance `<= radius` (pass `u64::MAX` for untruncated).
+pub fn dijkstra_within(
+    graph: &Graph,
+    source: VertexId,
+    forbidden: &[bool],
+    radius: u64,
+) -> DijkstraResult {
+    let n = graph.num_vertices();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = Some(0);
+    heap.push(Reverse((0u64, source.index())));
+    while let Some(Reverse((d, ui))) = heap.pop() {
+        if dist[ui] != Some(d) {
+            continue; // stale entry
+        }
+        let u = VertexId::new(ui);
+        for nb in graph.neighbors(u) {
+            if forbidden.get(nb.edge.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let w = graph.edge(nb.edge).weight();
+            let nd = d.saturating_add(w);
+            if nd > radius {
+                continue;
+            }
+            let vi = nb.vertex.index();
+            if dist[vi].map_or(true, |old| nd < old) {
+                dist[vi] = Some(nd);
+                parent[vi] = Some((u, nb.edge));
+                heap.push(Reverse((nd, vi)));
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+/// Untruncated Dijkstra from `source` avoiding `forbidden` edges.
+pub fn dijkstra(graph: &Graph, source: VertexId, forbidden: &[bool]) -> DijkstraResult {
+    dijkstra_within(graph, source, forbidden, u64::MAX)
+}
+
+/// The shortest `s`–`t` distance avoiding `forbidden` edges, or `None` if
+/// disconnected. This is `dist_{G \ F}(s, t)`, the ground truth against which
+/// all stretch bounds are measured.
+pub fn distance_avoiding(
+    graph: &Graph,
+    s: VertexId,
+    t: VertexId,
+    forbidden: &[bool],
+) -> Option<u64> {
+    if s == t {
+        return Some(0);
+    }
+    dijkstra(graph, s, forbidden).dist[t.index()]
+}
+
+/// The ball `B_ρ(v) = {u : dist(v, u) <= ρ}` in the graph minus `forbidden`.
+pub fn ball(graph: &Graph, center: VertexId, radius: u64, forbidden: &[bool]) -> Vec<VertexId> {
+    let res = dijkstra_within(graph, center, forbidden, radius);
+    (0..graph.num_vertices())
+        .filter(|&i| res.dist[i].is_some())
+        .map(VertexId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::traversal::forbidden_mask;
+
+    /// Weighted diamond: 0-1 (1), 1-3 (1), 0-2 (10), 2-3 (10).
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(0, 2, 10);
+        b.add_edge(2, 3, 10);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_prefers_light_route() {
+        let g = diamond();
+        let r = dijkstra(&g, VertexId::new(0), &[]);
+        assert_eq!(r.dist[3], Some(2));
+        assert_eq!(
+            r.path_to(VertexId::new(3)).unwrap(),
+            vec![EdgeId::new(0), EdgeId::new(1)]
+        );
+    }
+
+    #[test]
+    fn faults_reroute_to_heavy_route() {
+        let g = diamond();
+        let mask = forbidden_mask(&g, &[EdgeId::new(0)]);
+        assert_eq!(
+            distance_avoiding(&g, VertexId::new(0), VertexId::new(3), &mask),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn disconnection_reported() {
+        let g = diamond();
+        let mask = forbidden_mask(&g, &[EdgeId::new(0), EdgeId::new(2)]);
+        assert_eq!(
+            distance_avoiding(&g, VertexId::new(0), VertexId::new(3), &mask),
+            None
+        );
+        // but s == t still has distance 0
+        assert_eq!(
+            distance_avoiding(&g, VertexId::new(0), VertexId::new(0), &mask),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn truncated_ball() {
+        let g = diamond();
+        let b1 = ball(&g, VertexId::new(0), 1, &[]);
+        assert_eq!(b1, vec![VertexId::new(0), VertexId::new(1)]);
+        let b2 = ball(&g, VertexId::new(0), 2, &[]);
+        assert_eq!(b2.len(), 3); // 0, 1, 3
+        let ball_all = ball(&g, VertexId::new(0), 100, &[]);
+        assert_eq!(ball_all.len(), 4);
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let r = dijkstra(&g, VertexId::new(0), &[]);
+        assert!(r.path_to(VertexId::new(2)).is_none());
+        assert_eq!(r.path_to(VertexId::new(0)).unwrap(), Vec::<EdgeId>::new());
+    }
+
+    #[test]
+    fn dijkstra_handles_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 5);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        let r = dijkstra(&g, VertexId::new(0), &[]);
+        assert_eq!(r.dist[1], Some(2));
+        assert_eq!(r.path_to(VertexId::new(1)).unwrap(), vec![EdgeId::new(1)]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Induced subgraphs with id mappings back to the host graph.
+//!
+//! The distance labeling scheme (Section 4) applies the connectivity schemes
+//! to many subgraphs `G_{i,j} = G[V(T_{i,j})]`; this module provides the
+//! vertex-set–induced subgraph together with the translation tables needed
+//! to move labels and faults between the host graph and the subgraph.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::{EdgeId, VertexId};
+
+/// An induced subgraph `G[S]` (optionally with an extra edge filter),
+/// carrying the mappings between host ids and local dense ids.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    /// `local_to_host_vertex[local] = host`.
+    local_to_host_vertex: Vec<VertexId>,
+    /// `host_to_local_vertex[host] = Some(local)` for vertices in `S`.
+    host_to_local_vertex: Vec<Option<VertexId>>,
+    /// `local_to_host_edge[local] = host`.
+    local_to_host_edge: Vec<EdgeId>,
+    /// Sparse map host edge -> local edge (dense vec over host edges).
+    host_to_local_edge: Vec<Option<EdgeId>>,
+}
+
+impl InducedSubgraph {
+    /// Builds `G[S]` keeping only edges with both endpoints in `S` that also
+    /// pass `edge_filter` (use `|_| true` for a plain induced subgraph).
+    pub fn new(
+        host: &Graph,
+        vertices: &[VertexId],
+        mut edge_filter: impl FnMut(EdgeId) -> bool,
+    ) -> Self {
+        let mut host_to_local_vertex = vec![None; host.num_vertices()];
+        let mut local_to_host_vertex = Vec::with_capacity(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!(
+                host_to_local_vertex[v.index()].is_none(),
+                "duplicate vertex {v:?} in induced set"
+            );
+            host_to_local_vertex[v.index()] = Some(VertexId::new(i));
+            local_to_host_vertex.push(v);
+        }
+        let mut b = GraphBuilder::new(vertices.len());
+        let mut local_to_host_edge = Vec::new();
+        let mut host_to_local_edge = vec![None; host.num_edges()];
+        for (id, e) in host.edge_ids() {
+            let (Some(lu), Some(lv)) = (
+                host_to_local_vertex[e.u().index()],
+                host_to_local_vertex[e.v().index()],
+            ) else {
+                continue;
+            };
+            if !edge_filter(id) {
+                continue;
+            }
+            let lid = b.add_edge(lu.index(), lv.index(), e.weight());
+            host_to_local_edge[id.index()] = Some(lid);
+            local_to_host_edge.push(id);
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            local_to_host_vertex,
+            host_to_local_vertex,
+            local_to_host_edge,
+            host_to_local_edge,
+        }
+    }
+
+    /// The subgraph itself (local ids).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Translates a host vertex to its local id, if present.
+    #[inline]
+    pub fn to_local_vertex(&self, host: VertexId) -> Option<VertexId> {
+        self.host_to_local_vertex[host.index()]
+    }
+
+    /// Translates a local vertex back to the host id.
+    #[inline]
+    pub fn to_host_vertex(&self, local: VertexId) -> VertexId {
+        self.local_to_host_vertex[local.index()]
+    }
+
+    /// Translates a host edge to its local id, if present.
+    #[inline]
+    pub fn to_local_edge(&self, host: EdgeId) -> Option<EdgeId> {
+        self.host_to_local_edge[host.index()]
+    }
+
+    /// Translates a local edge back to the host id.
+    #[inline]
+    pub fn to_host_edge(&self, local: EdgeId) -> EdgeId {
+        self.local_to_host_edge[local.index()]
+    }
+
+    /// Whether the subgraph contains the host vertex.
+    #[inline]
+    pub fn contains_vertex(&self, host: VertexId) -> bool {
+        self.host_to_local_vertex[host.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1); // e0
+        b.add_edge(1, 2, 2); // e1
+        b.add_edge(2, 3, 3); // e2
+        b.add_edge(3, 0, 4); // e3
+        b.add_edge(0, 2, 5); // e4 diagonal
+        b.build()
+    }
+
+    #[test]
+    fn induced_triangle() {
+        let g = square_with_diagonal();
+        let v = VertexId::new;
+        let sub = InducedSubgraph::new(&g, &[v(0), v(1), v(2)], |_| true);
+        assert_eq!(sub.graph().num_vertices(), 3);
+        assert_eq!(sub.graph().num_edges(), 3); // e0, e1, e4
+        assert!(sub.contains_vertex(v(0)));
+        assert!(!sub.contains_vertex(v(3)));
+    }
+
+    #[test]
+    fn vertex_id_roundtrips() {
+        let g = square_with_diagonal();
+        let v = VertexId::new;
+        let sub = InducedSubgraph::new(&g, &[v(2), v(0)], |_| true);
+        let l2 = sub.to_local_vertex(v(2)).unwrap();
+        let l0 = sub.to_local_vertex(v(0)).unwrap();
+        assert_eq!(sub.to_host_vertex(l2), v(2));
+        assert_eq!(sub.to_host_vertex(l0), v(0));
+        assert_eq!(sub.to_local_vertex(v(1)), None);
+        // only edge 0-2 (e4) survives
+        assert_eq!(sub.graph().num_edges(), 1);
+        assert_eq!(sub.to_host_edge(EdgeId::new(0)), EdgeId::new(4));
+        assert_eq!(sub.to_local_edge(EdgeId::new(4)), Some(EdgeId::new(0)));
+        assert_eq!(sub.to_local_edge(EdgeId::new(0)), None);
+    }
+
+    #[test]
+    fn edge_filter_drops_edges() {
+        let g = square_with_diagonal();
+        let v = VertexId::new;
+        // Drop the diagonal.
+        let sub = InducedSubgraph::new(&g, &[v(0), v(1), v(2)], |e| e.index() != 4);
+        assert_eq!(sub.graph().num_edges(), 2);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = square_with_diagonal();
+        let v = VertexId::new;
+        let sub = InducedSubgraph::new(&g, &[v(2), v(3)], |_| true);
+        assert_eq!(sub.graph().num_edges(), 1);
+        assert_eq!(sub.graph().edge(EdgeId::new(0)).weight(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_vertices_rejected() {
+        let g = square_with_diagonal();
+        let v = VertexId::new;
+        InducedSubgraph::new(&g, &[v(0), v(0)], |_| true);
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let g = square_with_diagonal();
+        let sub = InducedSubgraph::new(&g, &[], |_| true);
+        assert_eq!(sub.graph().num_vertices(), 0);
+        assert_eq!(sub.graph().num_edges(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Breadth-first and depth-first traversals, connected components.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+use std::collections::VecDeque;
+
+/// Result of a BFS from a set of sources: hop distances and parent pointers.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the nearest source, or `None` if
+    /// unreachable.
+    pub dist: Vec<Option<u32>>,
+    /// `parent[v]` = (predecessor, edge used), `None` for sources/unreached.
+    pub parent: Vec<Option<(VertexId, EdgeId)>>,
+    /// Vertices in the order they were dequeued.
+    pub order: Vec<VertexId>,
+}
+
+/// BFS over unit hops from a single source, ignoring the edges in `forbidden`
+/// (a bitmask over edge ids; pass `&[]` to use all edges).
+pub fn bfs(graph: &Graph, source: VertexId, forbidden: &[bool]) -> BfsResult {
+    bfs_multi(graph, &[source], forbidden)
+}
+
+/// BFS from multiple sources.
+pub fn bfs_multi(graph: &Graph, sources: &[VertexId], forbidden: &[bool]) -> BfsResult {
+    let n = graph.num_vertices();
+    let mut dist = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = dist[u.index()].expect("queued vertex has a distance");
+        for nb in graph.neighbors(u) {
+            if forbidden.get(nb.edge.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let w = nb.vertex;
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(du + 1);
+                parent[w.index()] = Some((u, nb.edge));
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsResult {
+        dist,
+        parent,
+        order,
+    }
+}
+
+/// Connected components of the graph with the `forbidden` edges removed.
+///
+/// Returns `(comp, count)` where `comp[v]` is a dense component index in
+/// `0..count`, assigned in order of lowest-numbered contained vertex.
+pub fn connected_components(graph: &Graph, forbidden: &[bool]) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![VertexId::new(start)];
+        comp[start] = count;
+        while let Some(u) = stack.pop() {
+            for nb in graph.neighbors(u) {
+                if forbidden.get(nb.edge.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                if comp[nb.vertex.index()] == usize::MAX {
+                    comp[nb.vertex.index()] = count;
+                    stack.push(nb.vertex);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Whether the whole graph is connected (the empty graph counts as
+/// connected; a single-vertex graph too).
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.num_vertices() <= 1 {
+        return true;
+    }
+    let (_, count) = connected_components(graph, &[]);
+    count == 1
+}
+
+/// Whether `s` and `t` are connected when the `forbidden` edges are removed.
+///
+/// This is the ground-truth answer the labeling schemes are tested against.
+pub fn connected_avoiding(graph: &Graph, s: VertexId, t: VertexId, forbidden: &[bool]) -> bool {
+    if s == t {
+        return true;
+    }
+    let res = bfs(graph, s, forbidden);
+    res.dist[t.index()].is_some()
+}
+
+/// Builds a forbidden-edge bitmask from a list of edge ids.
+pub fn forbidden_mask(graph: &Graph, faults: &[EdgeId]) -> Vec<bool> {
+    let mut mask = vec![false; graph.num_edges()];
+    for &e in faults {
+        mask[e.index()] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_unit_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let r = bfs(&g, VertexId::new(0), &[]);
+        for i in 0..5 {
+            assert_eq!(r.dist[i], Some(i as u32));
+        }
+        assert_eq!(r.order.len(), 5);
+        assert_eq!(r.parent[0], None);
+        assert_eq!(r.parent[3].unwrap().0, VertexId::new(2));
+    }
+
+    #[test]
+    fn bfs_respects_forbidden_edges() {
+        let g = path(5);
+        let mask = forbidden_mask(&g, &[EdgeId::new(2)]); // cut between 2 and 3
+        let r = bfs(&g, VertexId::new(0), &mask);
+        assert_eq!(r.dist[2], Some(2));
+        assert_eq!(r.dist[3], None);
+        assert_eq!(r.dist[4], None);
+    }
+
+    #[test]
+    fn bfs_multi_source() {
+        let g = path(7);
+        let r = bfs_multi(&g, &[VertexId::new(0), VertexId::new(6)], &[]);
+        assert_eq!(r.dist[3], Some(3));
+        assert_eq!(r.dist[5], Some(1));
+    }
+
+    #[test]
+    fn components_count() {
+        let g = path(4);
+        let (comp, count) = connected_components(&g, &[]);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        let mask = forbidden_mask(&g, &[EdgeId::new(1)]);
+        let (comp, count) = connected_components(&g, &mask);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let g = path(4);
+        assert!(is_connected(&g));
+        assert!(connected_avoiding(
+            &g,
+            VertexId::new(0),
+            VertexId::new(3),
+            &[]
+        ));
+        let mask = forbidden_mask(&g, &[EdgeId::new(0)]);
+        assert!(!connected_avoiding(
+            &g,
+            VertexId::new(0),
+            VertexId::new(3),
+            &mask
+        ));
+        // s == t is always connected, even if isolated by faults.
+        assert!(connected_avoiding(
+            &g,
+            VertexId::new(0),
+            VertexId::new(0),
+            &mask
+        ));
+    }
+
+    #[test]
+    fn isolated_vertices_form_components() {
+        let mut b = GraphBuilder::new(3);
+        b.add_unit_edge(0, 1);
+        let g = b.build();
+        assert!(!is_connected(&g));
+        let (_, count) = connected_components(&g, &[]);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_connected() {
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+        assert!(is_connected(&GraphBuilder::new(1).build()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the graph substrate.
+
+use ftl_graph::shortest_path::{dijkstra, distance_avoiding};
+use ftl_graph::traversal::{bfs, connected_components, forbidden_mask};
+use ftl_graph::union_find::UnionFind;
+use ftl_graph::{generators, EdgeId, Graph, GraphBuilder, SpanningTree, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a connected graph described by `(n, extra edge pairs)`.
+fn connected_graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..40, proptest::collection::vec((0usize..40, 0usize..40), 0..60)).prop_map(
+        |(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_unit_edge(i / 2, i); // binary-tree backbone: connected
+            }
+            for (u, v) in extra {
+                if u % n != v % n {
+                    b.add_unit_edge(u % n, v % n);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+/// Strategy: a weighted connected graph.
+fn weighted_graph_strategy() -> impl Strategy<Value = Graph> {
+    (
+        2usize..30,
+        proptest::collection::vec((0usize..30, 0usize..30, 1u64..50), 0..50),
+    )
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_edge(i / 2, i, 1 + (i as u64 % 7));
+            }
+            for (u, v, w) in extra {
+                if u % n != v % n {
+                    b.add_edge(u % n, v % n, w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// On unit-weight graphs, BFS and Dijkstra distances agree everywhere.
+    #[test]
+    fn bfs_agrees_with_dijkstra_on_unit_weights(g in connected_graph_strategy()) {
+        let s = VertexId::new(0);
+        let b = bfs(&g, s, &[]);
+        let d = dijkstra(&g, s, &[]);
+        for i in 0..g.num_vertices() {
+            prop_assert_eq!(b.dist[i].map(u64::from), d.dist[i]);
+        }
+    }
+
+    /// Dijkstra's parent-path distance equals the reported distance.
+    #[test]
+    fn dijkstra_paths_realize_distances(g in weighted_graph_strategy()) {
+        let s = VertexId::new(0);
+        let d = dijkstra(&g, s, &[]);
+        for i in 0..g.num_vertices() {
+            if let Some(path) = d.path_to(VertexId::new(i)) {
+                let w: u64 = path.iter().map(|&e| g.edge(e).weight()).sum();
+                prop_assert_eq!(Some(w), d.dist[i]);
+            }
+        }
+    }
+
+    /// Triangle inequality on the shortest-path metric.
+    #[test]
+    fn shortest_path_triangle_inequality(g in weighted_graph_strategy()) {
+        let n = g.num_vertices();
+        let d0 = dijkstra(&g, VertexId::new(0), &[]);
+        let d1 = dijkstra(&g, VertexId::new(n - 1), &[]);
+        for i in 0..n {
+            if let (Some(a), Some(b), Some(c)) =
+                (d0.dist[n - 1], d0.dist[i], d1.dist[i])
+            {
+                prop_assert!(a <= b + c, "d(0,{}) = {} > {} + {}", n - 1, a, b, c);
+            }
+        }
+    }
+
+    /// Removing a fault set never decreases distances.
+    #[test]
+    fn faults_only_increase_distances(
+        g in connected_graph_strategy(),
+        picks in proptest::collection::vec(0usize..200, 0..5),
+    ) {
+        let faults: Vec<EdgeId> = picks
+            .iter()
+            .map(|&p| EdgeId::new(p % g.num_edges()))
+            .collect();
+        let mask = forbidden_mask(&g, &faults);
+        let s = VertexId::new(0);
+        let t = VertexId::new(g.num_vertices() - 1);
+        let before = distance_avoiding(&g, s, t, &[]).unwrap();
+        match distance_avoiding(&g, s, t, &mask) {
+            Some(after) => prop_assert!(after >= before),
+            None => {} // disconnection is a legal increase to infinity
+        }
+    }
+
+    /// Spanning-tree DFS intervals nest or are disjoint, and tree paths have
+    /// correct endpoints.
+    #[test]
+    fn spanning_tree_interval_invariants(g in connected_graph_strategy()) {
+        let t = SpanningTree::bfs_tree(&g, VertexId::new(0)).unwrap();
+        let n = g.num_vertices();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (va, vb) = (VertexId::new(a), VertexId::new(b));
+                let ia = (t.pre(va), t.post(va));
+                let ib = (t.pre(vb), t.post(vb));
+                let nested =
+                    (ia.0 <= ib.0 && ib.1 <= ia.1) || (ib.0 <= ia.0 && ia.1 <= ib.1);
+                let disjoint = ia.1 < ib.0 || ib.1 < ia.0;
+                prop_assert!(nested || disjoint);
+            }
+        }
+        // Tree path between two random-ish vertices traverses tree edges only.
+        let a = VertexId::new(n / 3);
+        let b = VertexId::new(2 * n / 3);
+        for e in t.tree_path(a, b) {
+            prop_assert!(t.is_tree_edge(e));
+        }
+    }
+
+    /// The number of connected components after removing F edges changes by
+    /// at most |F|.
+    #[test]
+    fn component_count_lipschitz(
+        g in connected_graph_strategy(),
+        picks in proptest::collection::vec(0usize..200, 0..6),
+    ) {
+        let faults: Vec<EdgeId> = picks
+            .iter()
+            .map(|&p| EdgeId::new(p % g.num_edges()))
+            .collect();
+        let mask = forbidden_mask(&g, &faults);
+        let (_, count) = connected_components(&g, &mask);
+        prop_assert!(count >= 1);
+        prop_assert!(count <= 1 + faults.len());
+    }
+
+    /// Union-find agrees with explicit component computation.
+    #[test]
+    fn union_find_matches_components(g in connected_graph_strategy(),
+                                     keep in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let n = g.num_vertices();
+        let mut uf = UnionFind::new(n);
+        let mut mask = vec![true; g.num_edges()]; // true = forbidden
+        for (id, e) in g.edge_ids() {
+            if keep.get(id.index()).copied().unwrap_or(false) {
+                mask[id.index()] = false;
+                uf.union(e.u().index(), e.v().index());
+            }
+        }
+        let (comp, count) = connected_components(&g, &mask);
+        prop_assert_eq!(uf.num_sets(), count);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(uf.same(a, b), comp[a] == comp[b]);
+            }
+        }
+    }
+
+    /// Ports are a consistent bijection: following any port leads to a
+    /// neighbor that can route back.
+    #[test]
+    fn ports_are_symmetric_enough(g in connected_graph_strategy()) {
+        for v in g.vertices() {
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                prop_assert_eq!(g.port(v, p).unwrap().edge, nb.edge);
+                // The reverse port exists at the neighbor.
+                let back = g.port_of_edge(nb.vertex, nb.edge);
+                prop_assert!(back.is_some());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lower-bound gadget always has f+1 edge-disjoint s-t paths of the
+    /// same length.
+    #[test]
+    fn gadget_invariants(f in 0usize..8, len in 1usize..12) {
+        let (g, s, t, last) = generators::lower_bound_gadget(f, len);
+        prop_assert_eq!(last.len(), f + 1);
+        prop_assert_eq!(distance_avoiding(&g, s, t, &[]), Some(len as u64));
+        // Failing any proper subset of last edges keeps distance len.
+        if f > 0 {
+            let mask = forbidden_mask(&g, &last[..f]);
+            prop_assert_eq!(distance_avoiding(&g, s, t, &mask), Some(len as u64));
+        }
+        let mask = forbidden_mask(&g, &last);
+        prop_assert_eq!(distance_avoiding(&g, s, t, &mask), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Ancestry labels for rooted trees (Lemma 3.1, [KNR92]).
+
+use ftl_graph::{SpanningTree, VertexId};
+
+/// The ancestry label `ANC_T(v) = (DFS₁(v), DFS₂(v))` of a vertex in a
+/// rooted spanning tree: its DFS entry and exit times.
+///
+/// Two labels decide ancestry in O(1): `u` is an ancestor of `v` iff
+/// `u`'s interval contains `v`'s. The label occupies `2·⌈log 2n⌉` bits.
+///
+/// # Example
+///
+/// ```
+/// use ftl_graph::{GraphBuilder, SpanningTree, VertexId};
+/// use ftl_labels::AncestryLabel;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_unit_edge(0, 1);
+/// b.add_unit_edge(1, 2);
+/// let g = b.build();
+/// let t = SpanningTree::bfs_tree(&g, VertexId::new(0)).unwrap();
+/// let l0 = AncestryLabel::of(&t, VertexId::new(0));
+/// let l2 = AncestryLabel::of(&t, VertexId::new(2));
+/// assert!(l0.is_ancestor_of(&l2));
+/// assert!(!l2.is_ancestor_of(&l0));
+/// ```
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AncestryLabel {
+    /// DFS entry time (`DFS₁`).
+    pub pre: u32,
+    /// DFS exit time (`DFS₂`).
+    pub post: u32,
+}
+
+impl AncestryLabel {
+    /// Extracts the label of a tree vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the tree.
+    pub fn of(tree: &SpanningTree, v: VertexId) -> Self {
+        assert!(tree.contains(v), "{v:?} is not in the spanning tree");
+        AncestryLabel {
+            pre: tree.pre(v),
+            post: tree.post(v),
+        }
+    }
+
+    /// Whether `self` labels an ancestor of the vertex labeled by `other`
+    /// (inclusive: every vertex is its own ancestor).
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &AncestryLabel) -> bool {
+        self.pre <= other.pre && other.post <= self.post
+    }
+
+    /// Whether `self` is a *strict* ancestor of `other`.
+    #[inline]
+    pub fn is_strict_ancestor_of(&self, other: &AncestryLabel) -> bool {
+        self != other && self.is_ancestor_of(other)
+    }
+
+    /// Label length in bits, given the DFS time bound `max_time` (Lemma 3.1:
+    /// `2⌈log n⌉ + O(1)` bits).
+    pub fn bits(max_time: u32) -> usize {
+        2 * (32 - max_time.leading_zeros()) as usize
+    }
+
+    /// Packs the label into a `u64` (used when XOR-ing labels inside sketch
+    /// cells).
+    #[inline]
+    pub fn pack(&self) -> u64 {
+        ((self.pre as u64) << 32) | self.post as u64
+    }
+
+    /// Unpacks a label from [`AncestryLabel::pack`]'s format.
+    #[inline]
+    pub fn unpack(word: u64) -> Self {
+        AncestryLabel {
+            pre: (word >> 32) as u32,
+            post: word as u32,
+        }
+    }
+}
+
+/// Computes the ancestry labels of every tree vertex (`None` for vertices
+/// outside the tree).
+pub fn all_labels(tree: &SpanningTree, n: usize) -> Vec<Option<AncestryLabel>> {
+    (0..n)
+        .map(|i| {
+            let v = VertexId::new(i);
+            tree.contains(v).then(|| AncestryLabel::of(tree, v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_graph::GraphBuilder;
+
+    fn sample_tree() -> (ftl_graph::Graph, SpanningTree) {
+        // 0 - {1, 2}; 1 - {3, 4}; 2 - {5}
+        let mut b = GraphBuilder::new(6);
+        b.add_unit_edge(0, 1);
+        b.add_unit_edge(0, 2);
+        b.add_unit_edge(1, 3);
+        b.add_unit_edge(1, 4);
+        b.add_unit_edge(2, 5);
+        let g = b.build();
+        let t = SpanningTree::bfs_tree(&g, VertexId::new(0)).unwrap();
+        (g, t)
+    }
+
+    #[test]
+    fn ancestry_matches_tree() {
+        let (_, t) = sample_tree();
+        let labels = all_labels(&t, 6);
+        for a in 0..6 {
+            for b in 0..6 {
+                let (va, vb) = (VertexId::new(a), VertexId::new(b));
+                let la = labels[a].unwrap();
+                let lb = labels[b].unwrap();
+                assert_eq!(
+                    la.is_ancestor_of(&lb),
+                    t.is_ancestor(va, vb),
+                    "({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_ancestry_excludes_self() {
+        let (_, t) = sample_tree();
+        let l = AncestryLabel::of(&t, VertexId::new(1));
+        assert!(l.is_ancestor_of(&l));
+        assert!(!l.is_strict_ancestor_of(&l));
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let l = AncestryLabel { pre: 7, post: 1234 };
+        assert_eq!(AncestryLabel::unpack(l.pack()), l);
+        let l = AncestryLabel {
+            pre: u32::MAX,
+            post: 0,
+        };
+        assert_eq!(AncestryLabel::unpack(l.pack()), l);
+    }
+
+    #[test]
+    fn bits_accounting() {
+        assert_eq!(AncestryLabel::bits(1), 2);
+        assert_eq!(AncestryLabel::bits(255), 16);
+        assert_eq!(AncestryLabel::bits(256), 18);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let (_, t) = sample_tree();
+        let labels = all_labels(&t, 6);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                assert_ne!(labels[a], labels[b]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_of_non_tree_vertex_panics() {
+        let mut b = GraphBuilder::new(3);
+        b.add_unit_edge(0, 1);
+        let g = b.build();
+        let bfs = ftl_graph::traversal::bfs(&g, VertexId::new(0), &[]);
+        let t = SpanningTree::from_bfs(&g, VertexId::new(0), &bfs);
+        AncestryLabel::of(&t, VertexId::new(2));
+    }
+}

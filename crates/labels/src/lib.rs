@@ -1,0 +1,19 @@
+//! Ancestry labels (Lemma 3.1) and the component tree of `T \ F`
+//! (Claim 3.14).
+//!
+//! Both connectivity labeling schemes use the same two tree gadgets:
+//!
+//! * **Ancestry labels** — each vertex `v` carries its DFS entry/exit times
+//!   `(DFS₁(v), DFS₂(v))`; `u` is an ancestor of `v` iff `u`'s interval
+//!   contains `v`'s ([KNR92]). `O(log n)` bits, `O(1)` query.
+//! * **The component tree** — removing the faulty tree edges `F_T` splits
+//!   the spanning tree into `|F_T| + 1` components; Claim 3.14 rebuilds the
+//!   tree of those components *from the ancestry labels of the fault
+//!   endpoints alone* in `O(f log f)` time, and locates any vertex's
+//!   component from its ancestry label in `O(log f)` time.
+
+pub mod ancestry;
+pub mod component_tree;
+
+pub use ancestry::AncestryLabel;
+pub use component_tree::{ComponentId, ComponentTree, FaultTreeEdge};

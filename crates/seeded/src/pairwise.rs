@@ -1,0 +1,162 @@
+//! Pairwise-independent hash functions (Definition A.1 / Fact A.2).
+//!
+//! The sketch scheme samples each edge into level `j` of sketch unit `i`
+//! with probability `2^{-j}` using a pairwise-independent hash `h_i`:
+//! `E_{i,j} = { e : h_i(e) ∈ [0, 2^{log m - j}) }` (Section 3.2.1). Pairwise
+//! independence suffices for the recovery guarantee (Lemma 3.9, citing
+//! [GKKT15] Lemma 5.2).
+
+use crate::prf::Seed;
+
+/// The Mersenne prime `2^61 - 1`.
+const P: u128 = (1u128 << 61) - 1;
+
+/// A function drawn from the pairwise-independent family
+/// `h(x) = ((a·x + b) mod p) mod 2^out_bits`, `p = 2^61 - 1`.
+///
+/// `a` is non-zero mod `p`; both coefficients are derived deterministically
+/// from a [`Seed`], so a decoder holding the seed reproduces the exact
+/// sampling of the labeler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    out_bits: u32,
+}
+
+impl PairwiseHash {
+    /// Draws a hash with `out_bits`-bit outputs from the family, keyed by
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is 0 or exceeds 61.
+    pub fn from_seed(seed: Seed, out_bits: u32) -> Self {
+        assert!(out_bits >= 1 && out_bits <= 61, "out_bits must be in 1..=61");
+        let a = (seed.prf1(0x61) % (P as u64 - 1)) + 1; // non-zero mod p
+        let b = seed.prf1(0x62) % P as u64;
+        PairwiseHash { a, b, out_bits }
+    }
+
+    /// Number of output bits (outputs lie in `[0, 2^out_bits)`).
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Evaluates the hash.
+    pub fn eval(&self, x: u64) -> u64 {
+        let v = (self.a as u128 * (x as u128 % P) + self.b as u128) % P;
+        (v as u64) & ((1u64 << self.out_bits) - 1)
+    }
+
+    /// The *sampling level* of `x`: the largest `j >= 0` with
+    /// `eval(x) < 2^{out_bits - j}`, i.e. `x ∈ E_j` for all `j <= level(x)`.
+    ///
+    /// Membership `x ∈ E_j` (sampled with probability `2^{-j}`) is then just
+    /// `j <= level(x)`.
+    pub fn level(&self, x: u64) -> u32 {
+        let h = self.eval(x);
+        if h == 0 {
+            self.out_bits
+        } else {
+            // largest j with h < 2^{out_bits - j}  <=>  bitlen(h) <= out_bits - j
+            let bitlen = 64 - h.leading_zeros();
+            self.out_bits - bitlen
+        }
+    }
+
+    /// Whether `x` is sampled at level `j` (`x ∈ E_j`).
+    pub fn in_level(&self, x: u64, j: u32) -> bool {
+        j <= self.level(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let h1 = PairwiseHash::from_seed(Seed::new(3), 16);
+        let h2 = PairwiseHash::from_seed(Seed::new(3), 16);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.eval(12345), h2.eval(12345));
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let h = PairwiseHash::from_seed(Seed::new(9), 10);
+        for x in 0..1000u64 {
+            assert!(h.eval(x) < (1 << 10));
+        }
+    }
+
+    #[test]
+    fn level_consistent_with_eval() {
+        let h = PairwiseHash::from_seed(Seed::new(1), 12);
+        for x in 0..2000u64 {
+            let l = h.level(x);
+            let v = h.eval(x);
+            assert!(v < (1u64 << (12 - l)), "x={x} l={l} v={v}");
+            if l < 12 {
+                assert!(v >= (1u64 << (12 - l - 1)), "level must be maximal");
+            }
+            assert!(h.in_level(x, 0));
+            assert!(h.in_level(x, l));
+            if l < 12 {
+                assert!(!h.in_level(x, l + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_roughly_geometric() {
+        let h = PairwiseHash::from_seed(Seed::new(77), 20);
+        let n = 100_000u64;
+        let mut at_least_1 = 0usize;
+        let mut at_least_3 = 0usize;
+        for x in 0..n {
+            let l = h.level(x);
+            if l >= 1 {
+                at_least_1 += 1;
+            }
+            if l >= 3 {
+                at_least_3 += 1;
+            }
+        }
+        let f1 = at_least_1 as f64 / n as f64; // expect ~1/2
+        let f3 = at_least_3 as f64 / n as f64; // expect ~1/8
+        assert!((f1 - 0.5).abs() < 0.05, "P[level>=1] = {f1}");
+        assert!((f3 - 0.125).abs() < 0.03, "P[level>=3] = {f3}");
+    }
+
+    #[test]
+    fn pairwise_empirical_independence_smoke() {
+        // For a few fixed pairs (x, y), the joint distribution of one output
+        // bit over random seeds should be near uniform on {0,1}^2.
+        let trials = 2000;
+        let mut counts = [0usize; 4];
+        for s in 0..trials {
+            let h = PairwiseHash::from_seed(Seed::new(s as u64), 8);
+            let bx = (h.eval(10) & 1) as usize;
+            let by = (h.eval(20) & 1) as usize;
+            counts[(bx << 1) | by] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.25).abs() < 0.08, "joint cell frequency {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_out_bits_rejected() {
+        PairwiseHash::from_seed(Seed::new(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_out_bits_rejected() {
+        PairwiseHash::from_seed(Seed::new(0), 62);
+    }
+}

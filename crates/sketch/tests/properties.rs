@@ -1,0 +1,114 @@
+//! Property-based tests: the sketch FT connectivity scheme against ground
+//! truth, plus Lemma 3.17 path validity.
+
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
+use ftl_graph::{EdgeId, Graph, GraphBuilder, SpanningTree, VertexId};
+use ftl_seeded::Seed;
+use ftl_sketch::{decode, PathSegment, SketchParams, SketchScheme};
+use proptest::prelude::*;
+
+fn scenario() -> impl Strategy<Value = (Graph, Vec<EdgeId>, VertexId, VertexId, u64)> {
+    (
+        2usize..20,
+        proptest::collection::vec((0usize..20, 0usize..20), 0..24),
+        proptest::collection::vec(0usize..500, 0..6),
+        0usize..20,
+        0usize..20,
+        any::<u64>(),
+    )
+        .prop_map(|(n, extra, fpicks, s, t, seed)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_unit_edge(i / 2, i);
+            }
+            for (u, v) in extra {
+                if u % n != v % n {
+                    b.add_unit_edge(u % n, v % n);
+                }
+            }
+            let g = b.build();
+            let mut faults: Vec<EdgeId> = Vec::new();
+            for p in fpicks {
+                let e = EdgeId::new(p % g.num_edges());
+                if !faults.contains(&e) {
+                    faults.push(e);
+                }
+            }
+            (g, faults, VertexId::new(s % n), VertexId::new(t % n), seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Decode matches ground-truth connectivity.
+    #[test]
+    fn decode_matches_ground_truth((g, faults, s, t, seed) in scenario()) {
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let fl: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+        let mask = forbidden_mask(&g, &faults);
+        let truth = connected_avoiding(&g, s, t, &mask);
+        let out = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+        prop_assert_eq!(out.connected, truth);
+        prop_assert_eq!(out.path.is_some(), truth);
+    }
+
+    /// Lemma 3.17: returned paths are structurally valid — continuous from
+    /// s to t, recovery edges real and non-faulty, tree segments intact,
+    /// at most O(f) recovery edges.
+    #[test]
+    fn succinct_paths_are_valid((g, faults, s, t, seed) in scenario()) {
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let tree = SpanningTree::bfs_tree(&g, VertexId::new(0)).unwrap();
+        let fl: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+        let mask = forbidden_mask(&g, &faults);
+        let out = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+        let Some(path) = out.path else { return Ok(()); };
+        prop_assert!(path.num_recovery_edges() <= faults.len() + 1);
+        let mut cur = s;
+        for seg in &path.segments {
+            match seg {
+                PathSegment::TreePath { from, to } => {
+                    prop_assert_eq!(from.id, cur.raw());
+                    let from_v = VertexId::from_raw(from.id);
+                    let to_v = VertexId::from_raw(to.id);
+                    for e in tree.tree_path(from_v, to_v) {
+                        prop_assert!(!mask[e.index()], "faulty tree segment");
+                    }
+                    cur = to_v;
+                }
+                PathSegment::RecoveryEdge { eid, from, to } => {
+                    prop_assert_eq!(from.id, cur.raw());
+                    let u = VertexId::from_raw(eid.lo);
+                    let v = VertexId::from_raw(eid.hi);
+                    let real = g.find_edge(u, v);
+                    prop_assert!(real.is_some(), "phantom recovery edge");
+                    cur = VertexId::from_raw(to.id);
+                }
+            }
+        }
+        prop_assert_eq!(cur, t);
+    }
+
+    /// Borůvka phase count stays within the unit budget (the decode reports
+    /// phases used).
+    #[test]
+    fn phase_budget_respected((g, faults, s, t, seed) in scenario()) {
+        let params = SketchParams::for_graph(&g);
+        let scheme = SketchScheme::label(&g, &params, Seed::new(seed)).unwrap();
+        let fl: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+        let out = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+        prop_assert!(out.phases_used <= params.units);
+    }
+
+    /// Determinism: decoding twice gives identical outcomes.
+    #[test]
+    fn decode_deterministic((g, faults, s, t, seed) in scenario()) {
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let fl: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+        let a = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+        let b = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &fl);
+        prop_assert_eq!(a.connected, b.connected);
+        prop_assert_eq!(a.path, b.path);
+    }
+}

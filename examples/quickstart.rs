@@ -1,0 +1,73 @@
+//! Quickstart: label a graph once, then answer ⟨s, t, F⟩ connectivity and
+//! distance queries from labels alone.
+//!
+//! Run with: `cargo run --example quickstart -p ftl-core`
+
+use ftl_core::connectivity::{ConnectivityLabeling, SchemeKind};
+use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::{generators, EdgeId, VertexId};
+use ftl_seeded::Seed;
+
+fn main() {
+    // A 6x6 grid network; vertex (r, c) has index r * 6 + c.
+    let g = generators::grid(6, 6);
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // ---------------------------------------------------------------- //
+    // 1. FT connectivity labels (Theorem 1.3), sketch-based variant.    //
+    // ---------------------------------------------------------------- //
+    let labeling = ConnectivityLabeling::new(&g, SchemeKind::Sketch, 4, Seed::new(2024));
+    println!(
+        "sketch labels: vertex <= {} bits, edge <= {} bits",
+        labeling.vertex_label_bits(),
+        labeling.edge_label_bits()
+    );
+
+    let s = VertexId::new(0); // top-left corner
+    let t = VertexId::new(35); // bottom-right corner
+
+    // Cut the two edges leaving the top-left corner: s becomes isolated.
+    let corner_cut: Vec<EdgeId> = g.neighbors(s).iter().map(|nb| nb.edge).collect();
+    let fault_labels: Vec<_> = corner_cut.iter().map(|&e| labeling.edge_label(e)).collect();
+
+    let connected =
+        labeling.decode(&labeling.vertex_label(s), &labeling.vertex_label(t), &[]);
+    println!("no faults:        s-t connected = {connected}");
+    let connected = labeling.decode(
+        &labeling.vertex_label(s),
+        &labeling.vertex_label(t),
+        &fault_labels,
+    );
+    println!("corner cut off:   s-t connected = {connected}");
+
+    // The cheaper O(f + log n)-bit variant answers identically.
+    let cs = ConnectivityLabeling::new(&g, SchemeKind::CycleSpace, 4, Seed::new(7));
+    let fl: Vec<_> = corner_cut.iter().map(|&e| cs.edge_label(e)).collect();
+    println!(
+        "cycle-space agrees: {} (labels: edge <= {} bits)",
+        !cs.decode(&cs.vertex_label(s), &cs.vertex_label(t), &fl),
+        cs.edge_label_bits()
+    );
+
+    // ---------------------------------------------------------------- //
+    // 2. FT approximate distance labels (Theorem 1.4).                  //
+    // ---------------------------------------------------------------- //
+    let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(99));
+    let single_fault = [g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap()];
+    match dl.query(s, t, &single_fault) {
+        Some(est) => println!(
+            "distance estimate with one fault: {} (true distance 10, bound {}x)",
+            est.distance,
+            dl.stretch_bound(1)
+        ),
+        None => println!("disconnected"),
+    }
+    match dl.query(s, t, &corner_cut) {
+        Some(est) => println!("unexpected estimate {est:?}"),
+        None => println!("corner cut: distance query correctly reports disconnection"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Road-network distance service: FT approximate distance labels on a
+//! weighted grid ("city blocks") under road closures (Theorem 1.4).
+//!
+//! Run with: `cargo run --example road_network_distances -p ftl-core --release`
+
+use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::shortest_path::distance_avoiding;
+use ftl_graph::traversal::forbidden_mask;
+use ftl_graph::{generators, EdgeId, VertexId};
+use ftl_seeded::Seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    // A 7x7 street grid; block lengths 1..=8.
+    let (rows, cols, max_w) = (7usize, 7usize, 8u64);
+    let g = generators::random_weighted_grid(rows, cols, max_w, &mut rng);
+    println!(
+        "road grid: {} intersections, {} segments, heaviest segment {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_weight()
+    );
+
+    let k = 2;
+    let dl = DistanceLabeling::new(&g, DistanceParams::new(k), Seed::new(11));
+    println!(
+        "labels built: {} distance scales, worst-case stretch bound {} (f = 2)",
+        dl.num_scales(),
+        dl.stretch_bound(2)
+    );
+
+    // Simulate a day of queries with up to two road closures each.
+    let queries = 50;
+    let mut served = 0;
+    let mut unreachable = 0;
+    let mut sum_ratio = 0.0;
+    let mut worst_ratio: f64 = 1.0;
+    for _ in 0..queries {
+        let s = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let t = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let closures: Vec<EdgeId> = (0..rng.gen_range(0..=2))
+            .map(|_| EdgeId::new(rng.gen_range(0..g.num_edges())))
+            .collect();
+        let est = dl.query(s, t, &closures);
+        let truth = distance_avoiding(&g, s, t, &forbidden_mask(&g, &closures));
+        match (est, truth) {
+            (Some(e), Some(d)) => {
+                served += 1;
+                if d > 0 {
+                    let r = e.distance as f64 / d as f64;
+                    sum_ratio += r;
+                    worst_ratio = worst_ratio.max(r);
+                }
+            }
+            (None, None) => unreachable += 1,
+            (e, d) => panic!("label answer {e:?} disagrees with ground truth {d:?}"),
+        }
+    }
+    println!("queries: {queries}, served: {served}, unreachable: {unreachable}");
+    if served > 0 {
+        println!(
+            "estimate/true-distance ratio: mean {:.2}, worst {:.2} (guarantee <= {})",
+            sum_ratio / served as f64,
+            worst_ratio,
+            dl.stretch_bound(2)
+        );
+    }
+}

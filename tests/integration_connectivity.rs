@@ -1,0 +1,136 @@
+//! End-to-end integration tests: graph generation → FT connectivity
+//! labeling (both constructions) → label-only decoding vs ground truth.
+
+use ftl_core::connectivity::{ConnectivityLabeling, SchemeKind};
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
+use ftl_graph::{generators, EdgeId, Graph, VertexId};
+use ftl_seeded::Seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_faults(g: &Graph, f: usize, rng: &mut StdRng) -> Vec<EdgeId> {
+    let mut faults = Vec::new();
+    while faults.len() < f.min(g.num_edges()) {
+        let e = EdgeId::new(rng.gen_range(0..g.num_edges()));
+        if !faults.contains(&e) {
+            faults.push(e);
+        }
+    }
+    faults
+}
+
+fn exercise(g: &Graph, kind: SchemeKind, f: usize, queries: usize, seed: u64) {
+    let labeling = ConnectivityLabeling::new(g, kind, f, Seed::new(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+    for _ in 0..queries {
+        let faults = random_faults(g, rng.gen_range(0..=f), &mut rng);
+        let fl: Vec<_> = faults.iter().map(|&e| labeling.edge_label(e)).collect();
+        let mask = forbidden_mask(g, &faults);
+        let s = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let t = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let truth = connected_avoiding(g, s, t, &mask);
+        let got = labeling.decode(&labeling.vertex_label(s), &labeling.vertex_label(t), &fl);
+        assert_eq!(got, truth, "{kind:?} s={s:?} t={t:?} F={faults:?}");
+    }
+}
+
+#[test]
+fn both_schemes_on_every_family() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(24)),
+        ("cycle", generators::cycle(20)),
+        ("grid", generators::grid(5, 5)),
+        ("star", generators::star(20)),
+        ("caterpillar", generators::caterpillar(6, 3)),
+        ("complete", generators::complete(10)),
+        ("er-connected", generators::connected_random(30, 0.08, 1, &mut rng)),
+        ("er-sparse", generators::erdos_renyi(30, 0.05, &mut rng)),
+        ("fat-tree", generators::fat_tree_like(3, 2, 2, 2)),
+    ];
+    for (i, (name, g)) in families.iter().enumerate() {
+        for kind in [SchemeKind::CycleSpace, SchemeKind::Sketch] {
+            exercise(g, kind, 4, 40, 1000 + i as u64);
+        }
+        let _ = name;
+    }
+}
+
+#[test]
+fn schemes_agree_with_each_other() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let g = generators::connected_random(25, 0.1, 1, &mut rng);
+    let cs = ConnectivityLabeling::new(&g, SchemeKind::CycleSpace, 5, Seed::new(1));
+    let sk = ConnectivityLabeling::new(&g, SchemeKind::Sketch, 5, Seed::new(2));
+    for _ in 0..60 {
+        let faults = random_faults(&g, rng.gen_range(0..=5), &mut rng);
+        let s = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let t = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let a = cs.decode(
+            &cs.vertex_label(s),
+            &cs.vertex_label(t),
+            &faults.iter().map(|&e| cs.edge_label(e)).collect::<Vec<_>>(),
+        );
+        let b = sk.decode(
+            &sk.vertex_label(s),
+            &sk.vertex_label(t),
+            &faults.iter().map(|&e| sk.edge_label(e)).collect::<Vec<_>>(),
+        );
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn adversarial_fault_patterns() {
+    // All edges of one vertex; a bridge; a full column cut of a grid.
+    let g = generators::grid(4, 4);
+    for kind in [SchemeKind::CycleSpace, SchemeKind::Sketch] {
+        let labeling = ConnectivityLabeling::new(&g, kind, 8, Seed::new(9));
+        // Isolate vertex 5 (all incident edges fail).
+        let iso: Vec<EdgeId> = g.neighbors(VertexId::new(5)).iter().map(|nb| nb.edge).collect();
+        let fl: Vec<_> = iso.iter().map(|&e| labeling.edge_label(e)).collect();
+        let mask = forbidden_mask(&g, &iso);
+        for t in 0..16 {
+            let truth = connected_avoiding(&g, VertexId::new(5), VertexId::new(t), &mask);
+            let got = labeling.decode(
+                &labeling.vertex_label(VertexId::new(5)),
+                &labeling.vertex_label(VertexId::new(t)),
+                &fl,
+            );
+            assert_eq!(got, truth, "{kind:?} isolation query t={t}");
+        }
+    }
+}
+
+#[test]
+fn repeated_queries_are_consistent() {
+    let g = generators::grid(4, 4);
+    let labeling = ConnectivityLabeling::new(&g, SchemeKind::Sketch, 3, Seed::new(5));
+    let faults = [EdgeId::new(3), EdgeId::new(11)];
+    let fl: Vec<_> = faults.iter().map(|&e| labeling.edge_label(e)).collect();
+    let s = labeling.vertex_label(VertexId::new(0));
+    let t = labeling.vertex_label(VertexId::new(15));
+    let first = labeling.decode(&s, &t, &fl);
+    for _ in 0..10 {
+        assert_eq!(labeling.decode(&s, &t, &fl), first);
+    }
+}
+
+#[test]
+fn label_bits_match_theory_shape() {
+    // Cycle-space edge labels: linear in f. Sketch labels: flat in f,
+    // polylog in n.
+    let g = generators::grid(6, 6);
+    let mut prev = 0;
+    for f in [1, 8, 16, 32] {
+        let l = ConnectivityLabeling::new(&g, SchemeKind::CycleSpace, f, Seed::new(1));
+        let bits = l.edge_label_bits();
+        assert!(bits > prev, "cycle-space labels grow with f");
+        prev = bits;
+    }
+    let small = ConnectivityLabeling::new(&generators::grid(4, 4), SchemeKind::Sketch, 1, Seed::new(1));
+    let large = ConnectivityLabeling::new(&generators::grid(8, 8), SchemeKind::Sketch, 1, Seed::new(1));
+    assert!(large.edge_label_bits() > small.edge_label_bits());
+    let f_large = ConnectivityLabeling::new(&generators::grid(8, 8), SchemeKind::Sketch, 32, Seed::new(1));
+    assert_eq!(large.edge_label_bits(), f_large.edge_label_bits());
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration tests: graph → tree covers → per-tree
+//! connectivity labels → FT approximate distance queries (Theorem 1.4).
+
+use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::shortest_path::distance_avoiding;
+use ftl_graph::traversal::forbidden_mask;
+use ftl_graph::{generators, EdgeId, Graph, VertexId};
+use ftl_seeded::Seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check(g: &Graph, k: u32, f: usize, queries: usize, seed: u64) -> f64 {
+    let dl = DistanceLabeling::new(g, DistanceParams::new(k), Seed::new(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+    let mut worst: f64 = 1.0;
+    for _ in 0..queries {
+        let s = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let t = VertexId::new(rng.gen_range(0..g.num_vertices()));
+        let mut faults = Vec::new();
+        while faults.len() < f.min(g.num_edges()) {
+            let e = EdgeId::new(rng.gen_range(0..g.num_edges()));
+            if !faults.contains(&e) {
+                faults.push(e);
+            }
+        }
+        let mask = forbidden_mask(g, &faults);
+        let truth = distance_avoiding(g, s, t, &mask);
+        let est = dl.query(s, t, &faults);
+        match (truth, est) {
+            (None, None) => {}
+            (Some(d), Some(e)) => {
+                assert!(e.distance >= d, "soundness: {} < {d}", e.distance);
+                let bound = dl.stretch_bound(faults.len());
+                assert!(e.distance <= bound * d.max(1), "stretch violated");
+                if d > 0 {
+                    worst = worst.max(e.distance as f64 / d as f64);
+                }
+            }
+            (td, ed) => panic!("connectivity mismatch {td:?} vs {ed:?}"),
+        }
+    }
+    worst
+}
+
+#[test]
+fn distance_pipeline_unweighted() {
+    let g = generators::grid(6, 6);
+    for k in [1, 2, 3] {
+        check(&g, k, 2, 40, 100 + k as u64);
+    }
+}
+
+#[test]
+fn distance_pipeline_weighted() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::random_weighted_grid(5, 5, 16, &mut rng);
+    for f in [0, 1, 3] {
+        check(&g, 2, f, 30, 200 + f as u64);
+    }
+}
+
+#[test]
+fn distance_pipeline_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for trial in 0..3 {
+        let g = generators::connected_random(28, 0.08, 6, &mut rng);
+        check(&g, 2, 2, 25, 300 + trial);
+    }
+}
+
+#[test]
+fn measured_stretch_well_below_worst_case() {
+    // The paper's bound is worst case; typical stretch should be far lower.
+    let g = generators::grid(6, 6);
+    let worst = check(&g, 2, 1, 60, 999);
+    let dl_bound = (8 * 2 - 2) * 2; // (8k-2)(f+1) with k=2, f=1
+    assert!(worst <= dl_bound as f64);
+    assert!(
+        worst <= dl_bound as f64 / 1.5,
+        "typical stretch {worst} suspiciously close to the worst case"
+    );
+}
+
+#[test]
+fn bridges_and_cuts_detected_at_query_time() {
+    // A dumbbell: faults on the bridge must produce None exactly when s, t
+    // are on opposite sides.
+    let mut b = ftl_graph::GraphBuilder::new(8);
+    for (u, v) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)] {
+        b.add_unit_edge(u, v);
+    }
+    b.add_unit_edge(2, 3);
+    let bridge1 = b.add_unit_edge(3, 4);
+    b.add_unit_edge(3, 7);
+    let g = b.build();
+    let dl = DistanceLabeling::new(&g, DistanceParams::new(2), Seed::new(17));
+    assert!(dl
+        .query(VertexId::new(0), VertexId::new(5), &[bridge1])
+        .is_none());
+    assert!(dl
+        .query(VertexId::new(0), VertexId::new(7), &[bridge1])
+        .is_some());
+    assert!(dl
+        .query(VertexId::new(4), VertexId::new(6), &[bridge1])
+        .is_some());
+}
