@@ -13,7 +13,9 @@ fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing");
     for f in [1usize, 2] {
         let scheme = FtRoutingScheme::new(&g, RoutingParams::new(2, f), Seed::new(5));
-        let faults: HashSet<_> = ftl_bench::sample_faults(&g, f, &mut rng).into_iter().collect();
+        let faults: HashSet<_> = ftl_bench::sample_faults(&g, f, &mut rng)
+            .into_iter()
+            .collect();
         let s = ftl_bench::sample_vertex(&g, &mut rng);
         let t = ftl_bench::sample_vertex(&g, &mut rng);
         group.bench_function(BenchmarkId::new("ft_unknown_faults", f), |b| {

@@ -11,8 +11,8 @@
 //!     collapse as `L` grows past ~log(f).
 
 use ftl_cycle_space::CycleSpaceScheme;
-use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_graph::generators;
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_seeded::Seed;
 use ftl_sketch::{decode, SketchParams, SketchScheme};
 
@@ -28,8 +28,7 @@ fn main() {
         let mut errors = 0usize;
         for trial in 0..trials {
             let scheme =
-                CycleSpaceScheme::label_with_bits(&g, f + slack, Seed::new(trial as u64))
-                    .unwrap();
+                CycleSpaceScheme::label_with_bits(&g, f + slack, Seed::new(trial as u64)).unwrap();
             let faults = ftl_bench::sample_faults(&g, f, &mut rng);
             let s = ftl_bench::sample_vertex(&g, &mut rng);
             let t = ftl_bench::sample_vertex(&g, &mut rng);

@@ -1,0 +1,289 @@
+//! PR 1 kernel benchmark: before/after numbers for the GF(2) elimination
+//! rewrite and the parallel construction sweeps, written to
+//! `BENCH_pr1.json` at the repo root.
+//!
+//! "Before" is the scan-based kernel preserved verbatim in
+//! `ftl_gf2::reference` (O(rank) pivot scans, per-insert re-sorting,
+//! per-row allocations); "after" is the pivot-indexed [`ftl_gf2::Basis`].
+//! For the construction sweeps, serial-vs-parallel is toggled at runtime
+//! via [`ftl_par::force_serial`], so on a single-core host both columns
+//! legitimately coincide (the recorded `cores` field says which).
+//!
+//! Run with: `cargo run -p ftl-bench --bin bench_pr1 --release`
+
+use ftl_cycle_space::CycleSpaceScheme;
+use ftl_gf2::{reference, BitVec};
+use ftl_graph::Graph;
+use ftl_routing::{FtRoutingScheme, RoutingParams};
+use ftl_seeded::Seed;
+use ftl_sketch::{SketchParams, SketchScheme};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds per call over enough repetitions to fill
+/// ~20 ms per sample, 7 samples.
+fn measure_ns<R>(mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = ((20_000_000u128 / once).clamp(1, 1_000_000)) as u64;
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Rebuilds the augmented vectors `φ′(e)` of Section 3.1.3 from public
+/// label material, so the scan-based solver can decode the exact same
+/// systems the production decoder solves.
+fn augmented_columns(
+    scheme: &CycleSpaceScheme,
+    s: ftl_graph::VertexId,
+    t: ftl_graph::VertexId,
+    faults: &[ftl_graph::EdgeId],
+) -> (Vec<BitVec>, usize) {
+    let sl = scheme.vertex_label(s);
+    let tl = scheme.vertex_label(t);
+    let cols: Vec<BitVec> = faults
+        .iter()
+        .map(|&e| {
+            let el = scheme.edge_label(e);
+            let on_s = el.on_root_path_of(&sl.anc);
+            let on_t = el.on_root_path_of(&tl.anc);
+            let mut prefix = BitVec::zeros(2);
+            if on_s && !on_t {
+                prefix.set(0, true);
+            } else if on_t && !on_s {
+                prefix.set(1, true);
+            }
+            prefix.concat(&el.phi)
+        })
+        .collect();
+    (cols, scheme.bits_b())
+}
+
+/// The Lemma 3.5 decode loop over a pluggable solver.
+fn decode_with(
+    cols: &[BitVec],
+    b: usize,
+    solver: impl Fn(&[BitVec], &BitVec) -> Option<BitVec>,
+) -> bool {
+    for wbit in [0usize, 1] {
+        let mut w = BitVec::zeros(b + 2);
+        w.set(wbit, true);
+        if solver(cols, &w).is_some() {
+            return false;
+        }
+    }
+    true
+}
+
+struct Row {
+    json: String,
+    human: String,
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut rng = ftl_bench::rng(2);
+    let mut decoding_rows: Vec<Row> = Vec::new();
+    let mut labeling_rows: Vec<Row> = Vec::new();
+    let mut routing_rows: Vec<Row> = Vec::new();
+    let mut basis_rows: Vec<Row> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Decoding: the Lemma 3.5 systems from real 64-vertex-suite labels,
+    // solved by the scan-based baseline vs the pivot-indexed kernel.
+    // ------------------------------------------------------------------
+    for workload in ftl_bench::standard_suite(&mut rng) {
+        let g = &workload.graph;
+        let scheme = CycleSpaceScheme::label(g, 64, Seed::new(3)).expect("suite is connected");
+        for f in [4usize, 16, 64] {
+            let f = f.min(g.num_edges());
+            let faults = ftl_bench::sample_faults(g, f, &mut rng);
+            let s = ftl_bench::sample_vertex(g, &mut rng);
+            let t = ftl_bench::sample_vertex(g, &mut rng);
+            let sl = scheme.vertex_label(s);
+            let tl = scheme.vertex_label(t);
+            let flabels: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+            // Before: the seed decoder — assemble the augmented columns,
+            // then run the scan-based solver once per target.
+            let before = measure_ns(|| {
+                let (cols, b) = augmented_columns(&scheme, s, t, &faults);
+                decode_with(&cols, b, reference::solve_naive)
+            });
+            // After: the production decoder (pivot-indexed basis built
+            // once, both targets expressed from it).
+            let after = measure_ns(|| ftl_cycle_space::decode(&sl, &tl, &flabels));
+            // Sanity: both kernels agree.
+            {
+                let (cols, b) = augmented_columns(&scheme, s, t, &faults);
+                assert_eq!(
+                    decode_with(&cols, b, reference::solve_naive),
+                    ftl_cycle_space::decode(&sl, &tl, &flabels),
+                    "kernel disagreement on {}",
+                    workload.name
+                );
+            }
+            let speedup = before / after;
+            decoding_rows.push(Row {
+                json: format!(
+                    "{{\"workload\": \"{}\", \"f\": {f}, \"naive_scan_ns\": {before:.0}, \"pivot_indexed_ns\": {after:.0}, \"speedup\": {speedup:.2}}}",
+                    workload.name
+                ),
+                human: format!(
+                    "decode {:>9} f={f:<3} scan {:>10.0} ns  pivot {:>10.0} ns  speedup {speedup:.2}x",
+                    workload.name, before, after
+                ),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw basis insertion at decoder-like shapes (the kernel in isolation).
+    // ------------------------------------------------------------------
+    for (dim, nvecs) in [(64usize, 32usize), (128, 96), (256, 192)] {
+        let mut stream = Seed::new(11).stream();
+        let vecs: Vec<BitVec> = (0..nvecs)
+            .map(|_| {
+                let mut v = BitVec::zeros(dim);
+                v.randomize(&mut stream);
+                v
+            })
+            .collect();
+        let before = measure_ns(|| {
+            let mut basis = reference::NaiveBasis::new(dim, nvecs);
+            for v in &vecs {
+                basis.insert(v);
+            }
+            basis.rank()
+        });
+        let after = measure_ns(|| {
+            let mut basis = ftl_gf2::Basis::new(dim, nvecs);
+            basis.insert_all(&vecs);
+            basis.rank()
+        });
+        let speedup = before / after;
+        basis_rows.push(Row {
+            json: format!(
+                "{{\"dim\": {dim}, \"vectors\": {nvecs}, \"naive_scan_ns\": {before:.0}, \"pivot_indexed_ns\": {after:.0}, \"speedup\": {speedup:.2}}}"
+            ),
+            human: format!(
+                "basis dim={dim:<4} vecs={nvecs:<4} scan {before:>10.0} ns  pivot {after:>10.0} ns  speedup {speedup:.2}x"
+            ),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Labeling: serial vs parallel construction on the 64-vertex suite.
+    // ------------------------------------------------------------------
+    let time_both = |build: &mut dyn FnMut()| -> (f64, f64) {
+        ftl_par::force_serial(true);
+        let serial = measure_ns(&mut *build);
+        ftl_par::force_serial(false);
+        let parallel = measure_ns(build);
+        (serial, parallel)
+    };
+    for workload in ftl_bench::standard_suite(&mut rng) {
+        let g: &Graph = &workload.graph;
+        let (serial, parallel) = time_both(&mut || {
+            std::hint::black_box(CycleSpaceScheme::label(g, 16, Seed::new(1)).expect("connected"));
+        });
+        labeling_rows.push(Row {
+            json: format!(
+                "{{\"workload\": \"{}\", \"scheme\": \"cycle_space\", \"f\": 16, \"serial_ns\": {serial:.0}, \"parallel_ns\": {parallel:.0}, \"speedup\": {:.2}}}",
+                workload.name, serial / parallel
+            ),
+            human: format!(
+                "label  {:>9} cycle_space serial {serial:>11.0} ns  parallel {parallel:>11.0} ns  speedup {:.2}x",
+                workload.name, serial / parallel
+            ),
+        });
+        let params = SketchParams::for_graph(g).with_units(8);
+        let (serial, parallel) = time_both(&mut || {
+            std::hint::black_box(SketchScheme::label(g, &params, Seed::new(1)).expect("connected"));
+        });
+        labeling_rows.push(Row {
+            json: format!(
+                "{{\"workload\": \"{}\", \"scheme\": \"sketch\", \"units\": 8, \"serial_ns\": {serial:.0}, \"parallel_ns\": {parallel:.0}, \"speedup\": {:.2}}}",
+                workload.name, serial / parallel
+            ),
+            human: format!(
+                "label  {:>9} sketch      serial {serial:>11.0} ns  parallel {parallel:>11.0} ns  speedup {:.2}x",
+                workload.name, serial / parallel
+            ),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Routing preprocessing: serial vs parallel per-tree construction.
+    // ------------------------------------------------------------------
+    {
+        let g = ftl_graph::generators::grid(5, 5);
+        for f in [1usize, 2] {
+            let (serial, parallel) = time_both(&mut || {
+                std::hint::black_box(
+                    FtRoutingScheme::new(&g, RoutingParams::new(2, f), Seed::new(5)).num_scales(),
+                );
+            });
+            routing_rows.push(Row {
+                json: format!(
+                    "{{\"workload\": \"grid-5x5\", \"f\": {f}, \"serial_ns\": {serial:.0}, \"parallel_ns\": {parallel:.0}, \"speedup\": {:.2}}}",
+                    serial / parallel
+                ),
+                human: format!(
+                    "route  grid-5x5  f={f} preprocess serial {serial:>12.0} ns  parallel {parallel:>12.0} ns  speedup {:.2}x",
+                    serial / parallel
+                ),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------------
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 1,").unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"before = scan-based NaiveBasis kernel / forced-serial sweeps; after = pivot-indexed Basis + BitMatrix + parallel sweeps. On a 1-core host serial and parallel legitimately coincide.\","
+    )
+    .unwrap();
+    let emit = |json: &mut String, key: &str, rows: &[Row], last: bool| {
+        writeln!(json, "  \"{key}\": [").unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(json, "    {}{comma}", r.json).unwrap();
+        }
+        writeln!(json, "  ]{}", if last { "" } else { "," }).unwrap();
+    };
+    emit(&mut json, "decoding", &decoding_rows, false);
+    emit(&mut json, "basis_insert", &basis_rows, false);
+    emit(&mut json, "labeling", &labeling_rows, false);
+    emit(&mut json, "routing_preprocess", &routing_rows, true);
+    writeln!(json, "}}").unwrap();
+
+    for r in decoding_rows
+        .iter()
+        .chain(&basis_rows)
+        .chain(&labeling_rows)
+        .chain(&routing_rows)
+    {
+        println!("{}", r.human);
+    }
+
+    let out = std::env::var("BENCH_PR1_OUT").unwrap_or_else(|_| "BENCH_pr1.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("\nwrote {out}");
+}

@@ -48,12 +48,21 @@ fn main() {
             f.to_string(),
             ct.num_components().to_string(),
             format!("{build_ns:.0} ns"),
-            if ok { "exact".into() } else { "MISMATCH".to_string() },
+            if ok {
+                "exact".into()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
     ftl_bench::print_table(
         "E3 / Figure 2: component tree from ancestry labels (Claim 3.14), n = 4096",
-        &["f", "components", "build time (O(f log f))", "vs ground truth"],
+        &[
+            "f",
+            "components",
+            "build time (O(f log f))",
+            "vs ground truth",
+        ],
         &rows,
     );
 }

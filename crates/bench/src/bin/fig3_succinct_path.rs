@@ -44,10 +44,7 @@ fn main() {
                     PathSegment::RecoveryEdge { from, to, eid } => {
                         good &= from.id == cur;
                         good &= g
-                            .find_edge(
-                                VertexId::from_raw(eid.lo),
-                                VertexId::from_raw(eid.hi),
-                            )
+                            .find_edge(VertexId::from_raw(eid.lo), VertexId::from_raw(eid.hi))
                             .is_some();
                         cur = to.id;
                     }
@@ -69,7 +66,14 @@ fn main() {
     }
     ftl_bench::print_table(
         "E4 / Figure 3: succinct paths (Lemma 3.17), er-64",
-        &["f", "connected queries", "valid paths", "avg segments", "avg recovery edges", "max recovery edges"],
+        &[
+            "f",
+            "connected queries",
+            "valid paths",
+            "avg segments",
+            "avg recovery edges",
+            "max recovery edges",
+        ],
         &rows,
     );
 }

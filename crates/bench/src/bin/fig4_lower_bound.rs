@@ -22,7 +22,13 @@ fn main() {
     }
     ftl_bench::print_table(
         "E5 / Figure 4: expected stretch on the lower-bound gadget (L = 32)",
-        &["f", "n", "measured E[stretch]", "closed form", "Omega(f) reference"],
+        &[
+            "f",
+            "n",
+            "measured E[stretch]",
+            "closed form",
+            "Omega(f) reference",
+        ],
         &rows,
     );
     println!("\nShape check: measured stretch grows linearly in f, as Theorem 1.6 demands.");

@@ -25,14 +25,26 @@ fn main() {
                         tc.max_overlap(),
                         k as f64 * n.powf(1.0 / k as f64)
                     ),
-                    if coverage { "yes".into() } else { "NO".to_string() },
+                    if coverage {
+                        "yes".into()
+                    } else {
+                        "NO".to_string()
+                    },
                 ]);
             }
         }
     }
     ftl_bench::print_table(
         "E11 / Prop 4.2: tree covers (radius <= (2k-1)rho; overlap ~ k n^{1/k})",
-        &["graph", "k", "rho", "trees", "max radius", "max overlap", "balls covered"],
+        &[
+            "graph",
+            "k",
+            "rho",
+            "trees",
+            "max radius",
+            "max overlap",
+            "balls covered",
+        ],
         &rows,
     );
 }

@@ -25,8 +25,9 @@ fn main() {
     let mut forb = (0usize, 0.0f64, 0.0f64);
     let mut base = (0usize, 0.0f64, 0.0f64);
     for _ in 0..trials {
-        let faults: std::collections::HashSet<_> =
-            ftl_bench::sample_faults(&g, f, &mut rng).into_iter().collect();
+        let faults: std::collections::HashSet<_> = ftl_bench::sample_faults(&g, f, &mut rng)
+            .into_iter()
+            .collect();
         let s = ftl_bench::sample_vertex(&g, &mut rng);
         let t = ftl_bench::sample_vertex(&g, &mut rng);
         for (out, acc) in [
@@ -45,12 +46,18 @@ fn main() {
         vec![
             "This paper, FT (Thm 5.8) [measured]".to_string(),
             format!("{:.2} mean / {:.2} worst", ours.1 / ours.0 as f64, ours.2),
-            format!("{} per vertex", ftl_bench::fmt_bits(scheme.max_table_bits(&g))),
+            format!(
+                "{} per vertex",
+                ftl_bench::fmt_bits(scheme.max_table_bits(&g))
+            ),
         ],
         vec![
             "This paper, forbidden-set (Thm 5.3) [measured]".to_string(),
             format!("{:.2} mean / {:.2} worst", forb.1 / forb.0 as f64, forb.2),
-            format!("{} per vertex", ftl_bench::fmt_bits(scheme.max_table_bits(&g))),
+            format!(
+                "{} per vertex",
+                ftl_bench::fmt_bits(scheme.max_table_bits(&g))
+            ),
         ],
         vec![
             "Full information [measured baseline]".to_string(),

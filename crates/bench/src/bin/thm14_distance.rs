@@ -2,9 +2,9 @@
 //! the (8k-2)(|F|+1) guarantee, and label-size scaling in k.
 
 use ftl_core::distance::{DistanceLabeling, DistanceParams};
+use ftl_graph::generators;
 use ftl_graph::shortest_path::distance_avoiding;
 use ftl_graph::traversal::forbidden_mask;
-use ftl_graph::generators;
 use ftl_seeded::Seed;
 
 fn main() {
@@ -49,7 +49,15 @@ fn main() {
     }
     ftl_bench::print_table(
         "E8 / Theorem 1.4: distance labels on wgrid-6x6 (paper bound (8k-2)(|F|+1))",
-        &["k", "f", "mean stretch", "worst stretch", "paper bound", "max vertex label", "mismatches"],
+        &[
+            "k",
+            "f",
+            "mean stretch",
+            "worst stretch",
+            "paper bound",
+            "max vertex label",
+            "mismatches",
+        ],
         &rows,
     );
 }

@@ -2,8 +2,8 @@
 //! O(f + log n), decode time poly(f, log n), empirical correctness.
 
 use ftl_cycle_space::{decode, CycleSpaceScheme};
-use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_graph::generators;
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_seeded::Seed;
 use std::time::Instant;
 
@@ -44,7 +44,14 @@ fn main() {
     }
     ftl_bench::print_table(
         "E6 / Theorem 3.6: cycle-space labels (paper: edge O(f + log n) bits, vertex O(log n))",
-        &["n", "f", "edge label bits", "vertex label bits", "decode time", "errors"],
+        &[
+            "n",
+            "f",
+            "edge label bits",
+            "vertex label bits",
+            "decode time",
+            "errors",
+        ],
         &rows,
     );
 }

@@ -1,8 +1,8 @@
 //! E7 / Theorem 3.7: the sketch connectivity labels — label bits O(log^3 n)
 //! independent of f, decode time ~O(f), empirical correctness.
 
-use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_graph::generators;
+use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_seeded::Seed;
 use ftl_sketch::{decode, SketchParams, SketchScheme};
 use std::time::Instant;
@@ -43,7 +43,14 @@ fn main() {
     }
     ftl_bench::print_table(
         "E7 / Theorem 3.7: sketch labels (paper: O(log^3 n) bits, independent of f)",
-        &["n", "f", "edge label (tree, max)", "vertex label bits", "decode time", "errors"],
+        &[
+            "n",
+            "f",
+            "edge label (tree, max)",
+            "vertex label bits",
+            "decode time",
+            "errors",
+        ],
         &rows,
     );
     println!("\nNote: edge label bits are flat across f for fixed n, and grow polylog in n.");

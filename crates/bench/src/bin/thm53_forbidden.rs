@@ -24,7 +24,9 @@ fn main() {
                 let mut max_header = 0usize;
                 for _ in 0..trials {
                     let faults: std::collections::HashSet<_> =
-                        ftl_bench::sample_faults(g, f, &mut rng).into_iter().collect();
+                        ftl_bench::sample_faults(g, f, &mut rng)
+                            .into_iter()
+                            .collect();
                     let s = ftl_bench::sample_vertex(g, &mut rng);
                     let t = ftl_bench::sample_vertex(g, &mut rng);
                     let out = scheme.route_forbidden_set(g, s, t, &faults);
@@ -56,7 +58,16 @@ fn main() {
     }
     ftl_bench::print_table(
         "E9 / Theorem 5.3: forbidden-set routing (paper bound (8k-2)(|F|+1))",
-        &["graph", "k", "f", "delivered", "mean stretch", "worst stretch", "paper bound", "max header"],
+        &[
+            "graph",
+            "k",
+            "f",
+            "delivered",
+            "mean stretch",
+            "worst stretch",
+            "paper bound",
+            "max header",
+        ],
         &rows,
     );
 }

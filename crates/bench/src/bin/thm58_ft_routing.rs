@@ -25,7 +25,9 @@ fn main() {
                 let mut sum_iters = 0usize;
                 for _ in 0..trials {
                     let faults: std::collections::HashSet<_> =
-                        ftl_bench::sample_faults(g, f, &mut rng).into_iter().collect();
+                        ftl_bench::sample_faults(g, f, &mut rng)
+                            .into_iter()
+                            .collect();
                     let s = ftl_bench::sample_vertex(g, &mut rng);
                     let t = ftl_bench::sample_vertex(g, &mut rng);
                     let out = scheme.route(g, s, t, &faults);
@@ -60,7 +62,18 @@ fn main() {
     }
     ftl_bench::print_table(
         "E10 / Theorem 5.8: FT routing, unknown faults (paper bound 32k(|F|+1)^2)",
-        &["graph", "k", "f", "delivered", "mean stretch", "worst stretch", "bound", "max table", "max header", "avg iterations"],
+        &[
+            "graph",
+            "k",
+            "f",
+            "delivered",
+            "mean stretch",
+            "worst stretch",
+            "bound",
+            "max table",
+            "max header",
+            "avg iterations",
+        ],
         &rows,
     );
 }

@@ -39,11 +39,16 @@ pub fn standard_suite(rng: &mut StdRng) -> Vec<Workload> {
 }
 
 /// Samples `f` distinct random faulty edges.
+///
+/// Distinctness is tracked through a `HashSet`, so sampling is expected
+/// `O(f)` rather than the `O(f·n)` of a linear rescan per draw.
 pub fn sample_faults(g: &Graph, f: usize, rng: &mut StdRng) -> Vec<EdgeId> {
-    let mut faults = Vec::new();
-    while faults.len() < f.min(g.num_edges()) {
+    let want = f.min(g.num_edges());
+    let mut seen = std::collections::HashSet::with_capacity(want);
+    let mut faults = Vec::with_capacity(want);
+    while faults.len() < want {
         let e = EdgeId::new(rng.gen_range(0..g.num_edges()));
-        if !faults.contains(&e) {
+        if seen.insert(e) {
             faults.push(e);
         }
     }

@@ -244,8 +244,8 @@ impl ConnectivityLabeling {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
     use ftl_graph::generators;
+    use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -257,11 +257,8 @@ mod tests {
             for b in 0..g.num_vertices() {
                 let (s, t) = (VertexId::new(a), VertexId::new(b));
                 let truth = connected_avoiding(g, s, t, &mask);
-                let got = labeling.decode(
-                    &labeling.vertex_label(s),
-                    &labeling.vertex_label(t),
-                    &fl,
-                );
+                let got =
+                    labeling.decode(&labeling.vertex_label(s), &labeling.vertex_label(t), &fl);
                 assert_eq!(got, truth, "{kind:?} pair ({a},{b})");
             }
         }

@@ -107,7 +107,10 @@ impl DistanceLabeling {
                 labelings,
             });
         }
-        DistanceLabeling { k: params.k, scales }
+        DistanceLabeling {
+            k: params.k,
+            scales,
+        }
     }
 
     /// Stretch parameter `k`.
@@ -206,9 +209,9 @@ impl DistanceLabeling {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftl_graph::generators;
     use ftl_graph::shortest_path::distance_avoiding;
     use ftl_graph::traversal::forbidden_mask;
-    use ftl_graph::generators;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

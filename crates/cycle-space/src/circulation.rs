@@ -125,7 +125,7 @@ pub fn is_induced_edge_cut(graph: &Graph, fault: &[bool]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftl_graph::{generators, EdgeId};
+    use ftl_graph::generators;
 
     fn labels_for(g: &Graph, b: usize, seed: u64) -> (SpanningTree, Vec<BitVec>) {
         let t = SpanningTree::bfs_tree(g, VertexId::new(0)).unwrap();
@@ -288,9 +288,9 @@ mod tests {
         let (_, phi) = labels_for(&g, 40, 6);
         // Both parallel edges together form delta({0}), a cut.
         assert!(xor_labels(&[phi[0].clone(), phi[1].clone()]).is_zero());
-        assert!(is_induced_edge_cut(&g, &vec![true, true]));
+        assert!(is_induced_edge_cut(&g, &[true, true]));
         // One of them alone is not a cut.
-        assert!(!is_induced_edge_cut(&g, &vec![true, false]));
+        assert!(!is_induced_edge_cut(&g, &[true, false]));
         assert!(!xor_labels(&[phi[0].clone()]).is_zero());
     }
 }

@@ -100,20 +100,22 @@ impl CycleSpaceScheme {
             return Err(GraphError::Disconnected);
         }
         let phi = assign_circulation_labels(graph, tree, b, seed.derive(0xC1C));
-        let vertex_labels = (0..graph.num_vertices())
-            .map(|i| CycleSpaceVertexLabel {
+        // Per-vertex and per-edge label assembly is embarrassingly parallel
+        // (`parallel` feature; see `ftl-par`).
+        let vertex_labels =
+            ftl_par::par_map_indexed(graph.num_vertices(), |i| CycleSpaceVertexLabel {
                 anc: AncestryLabel::of(tree, VertexId::new(i)),
-            })
-            .collect();
-        let edge_labels = graph
-            .edge_ids()
-            .map(|(id, e)| CycleSpaceEdgeLabel {
-                phi: phi[id.index()].clone(),
+            });
+        let edge_labels = ftl_par::par_map_indexed(graph.num_edges(), |i| {
+            let id = EdgeId::new(i);
+            let e = graph.edge(id);
+            CycleSpaceEdgeLabel {
+                phi: phi[i].clone(),
                 anc_u: AncestryLabel::of(tree, e.u()),
                 anc_v: AncestryLabel::of(tree, e.v()),
                 is_tree: tree.is_tree_edge(id),
-            })
-            .collect();
+            }
+        });
         Ok(CycleSpaceScheme {
             vertex_labels,
             edge_labels,

@@ -1,9 +1,38 @@
-//! Packed bit vectors over GF(2).
+//! Packed bit vectors and row-major bit matrices over GF(2).
+//!
+//! The XOR kernel is word-parallel throughout: every bulk operation works
+//! on `u64` words with an unrolled fast path, and [`first_one`] /
+//! [`count_ones`] lower to the `trailing_zeros` / `count_ones` intrinsics.
+//! [`BitMatrix`] packs many equal-width rows into one contiguous
+//! allocation so elimination sweeps stay cache-resident.
+//!
+//! [`first_one`]: BitVec::first_one
+//! [`count_ones`]: BitVec::count_ones
 
 use std::fmt;
 use std::ops::{BitXor, BitXorAssign};
 
 const WORD_BITS: usize = 64;
+
+/// XORs `src` into `dst` word by word, four words per step.
+///
+/// The unrolled body gives LLVM a straight-line SIMD-friendly loop; the
+/// remainder handles the tail.
+#[inline]
+pub(crate) fn xor_words(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len(), "word-count mismatch in xor");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] ^= sc[0];
+        dc[1] ^= sc[1];
+        dc[2] ^= sc[2];
+        dc[3] ^= sc[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a ^= b;
+    }
+}
 
 /// A fixed-length bit vector packed into 64-bit words, with XOR as addition
 /// over GF(2).
@@ -104,14 +133,34 @@ impl BitVec {
         self.words.iter().all(|&w| w == 0)
     }
 
-    /// Number of set bits.
+    /// Number of set bits (one `popcnt` per word).
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Index of the lowest set bit, if any.
+    /// Index of the lowest set bit, if any (one `tzcnt` in the first
+    /// nonzero word).
+    #[inline]
     pub fn first_one(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate() {
+        self.first_one_from(0)
+    }
+
+    /// Index of the lowest set bit at position `>= start`, if any.
+    ///
+    /// Elimination loops use this to resume the pivot scan where the last
+    /// reduction left off instead of rescanning cleared low words.
+    #[inline]
+    pub fn first_one_from(&self, start: usize) -> Option<usize> {
+        if start >= self.len {
+            return None;
+        }
+        let first_word = start / WORD_BITS;
+        // Mask off bits below `start` in the first scanned word.
+        let head = self.words[first_word] & !((1u64 << (start % WORD_BITS)) - 1);
+        if head != 0 {
+            return Some(first_word * WORD_BITS + head.trailing_zeros() as usize);
+        }
+        for (wi, &w) in self.words.iter().enumerate().skip(first_word + 1) {
             if w != 0 {
                 return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
             }
@@ -121,7 +170,21 @@ impl BitVec {
 
     /// Iterator over the indices of set bits, ascending.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &w)| {
+                let mut rem = w;
+                std::iter::from_fn(move || {
+                    if rem == 0 {
+                        return None;
+                    }
+                    let bit = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * WORD_BITS + bit)
+                })
+            })
+            .filter(move |&i| i < self.len)
     }
 
     /// In-place XOR with another vector of the same length.
@@ -129,34 +192,82 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics on length mismatch.
+    #[inline]
     pub fn xor_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch in xor");
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a ^= b;
-        }
+        xor_words(&mut self.words, &other.words);
     }
 
-    /// Concatenates `self` followed by `other`.
+    /// Writes `self ^ rhs` into `out`, reusing `out`'s allocation.
+    ///
+    /// This is the allocation-free replacement for the
+    /// `let mut c = a.clone(); c.xor_assign(b)` pattern on hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `rhs` have different lengths.
+    pub fn xor_into(&self, rhs: &BitVec, out: &mut BitVec) {
+        assert_eq!(self.len, rhs.len, "length mismatch in xor");
+        out.len = self.len;
+        out.words.clear();
+        out.words.extend_from_slice(&self.words);
+        xor_words(&mut out.words, &rhs.words);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// Clears every bit, keeping the length.
+    pub fn zero_out(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// XORs a raw word slice (of exactly the backing width) into `self`.
+    #[inline]
+    pub(crate) fn xor_assign_words(&mut self, words: &[u64]) {
+        xor_words(&mut self.words, words);
+    }
+
+    /// Concatenates `self` followed by `other` (whole words at a time:
+    /// copy, then OR in the second operand shifted across word boundaries).
     pub fn concat(&self, other: &BitVec) -> BitVec {
         let mut out = BitVec::zeros(self.len + other.len);
-        for i in self.ones() {
-            out.set(i, true);
-        }
-        for i in other.ones() {
-            out.set(self.len + i, true);
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        let base = self.len / WORD_BITS;
+        let shift = self.len % WORD_BITS;
+        for (i, &w) in other.words.iter().enumerate() {
+            if shift == 0 {
+                out.words[base + i] = w;
+            } else {
+                out.words[base + i] |= w << shift;
+                if base + i + 1 < out.words.len() {
+                    out.words[base + i + 1] |= w >> (WORD_BITS - shift);
+                }
+            }
         }
         out
     }
 
-    /// The sub-vector of bits `range.start .. range.end`.
+    /// The sub-vector of bits `range.start .. range.end` (whole words at a
+    /// time: each output word stitches together one or two input words).
     pub fn slice(&self, start: usize, end: usize) -> BitVec {
         assert!(start <= end && end <= self.len);
         let mut out = BitVec::zeros(end - start);
-        for i in start..end {
-            if self.get(i) {
-                out.set(i - start, true);
+        let base = start / WORD_BITS;
+        let shift = start % WORD_BITS;
+        let nw = out.words.len();
+        for i in 0..nw {
+            let mut w = self.words[base + i] >> shift;
+            if shift != 0 && base + i + 1 < self.words.len() {
+                w |= self.words[base + i + 1] << (WORD_BITS - shift);
             }
+            out.words[i] = w;
         }
+        out.mask_tail();
         out
     }
 
@@ -211,6 +322,202 @@ impl fmt::Debug for BitVec {
     }
 }
 
+/// A growable row-major GF(2) matrix: every row is `cols` bits wide and all
+/// rows live in **one contiguous word allocation**, so elimination and
+/// sketch sweeps touch memory sequentially instead of chasing per-row
+/// `Vec` allocations.
+///
+/// Used by [`crate::Basis`] for its basis/combination rows and by the
+/// sketch decoder for its cell banks.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    cols: usize,
+    /// Words per row (`cols.div_ceil(64)`).
+    wpr: usize,
+    rows: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An empty matrix whose rows will be `cols` bits wide.
+    pub fn new(cols: usize) -> Self {
+        BitMatrix {
+            cols,
+            wpr: cols.div_ceil(WORD_BITS),
+            rows: 0,
+            words: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with backing storage reserved for `rows` rows.
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        let wpr = cols.div_ceil(WORD_BITS);
+        BitMatrix {
+            cols,
+            wpr,
+            rows: 0,
+            words: Vec::with_capacity(rows * wpr),
+        }
+    }
+
+    /// A zero-filled matrix of the given shape.
+    pub fn with_rows(rows: usize, cols: usize) -> Self {
+        let wpr = cols.div_ceil(WORD_BITS);
+        BitMatrix {
+            cols,
+            wpr,
+            rows,
+            words: vec![0; rows * wpr],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bits per row.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Appends a copy of `v` as a new row, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_cols()`.
+    pub fn push_row(&mut self, v: &BitVec) -> usize {
+        assert_eq!(v.len(), self.cols, "row width mismatch");
+        self.words.extend_from_slice(v.words());
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// The words of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.wpr..(i + 1) * self.wpr]
+    }
+
+    /// Bit `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(j < self.cols, "column {j} out of range {}", self.cols);
+        (self.row(i)[j / WORD_BITS] >> (j % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(j < self.cols, "column {j} out of range {}", self.cols);
+        let w = &mut self.words[i * self.wpr + j / WORD_BITS];
+        let mask = 1u64 << (j % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Whether row `i` is all zeros.
+    pub fn row_is_zero(&self, i: usize) -> bool {
+        self.row(i).iter().all(|&w| w == 0)
+    }
+
+    /// Index of the lowest set bit of row `i`, if any.
+    pub fn row_first_one(&self, i: usize) -> Option<usize> {
+        for (wi, &w) in self.row(i).iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Copies row `i` out into an owned [`BitVec`].
+    pub fn row_to_bitvec(&self, i: usize) -> BitVec {
+        BitVec::from_words(self.row(i), self.cols)
+    }
+
+    /// Copies row `i` into `out`, reusing `out`'s allocation — the
+    /// no-allocation companion of [`BitMatrix::row_to_bitvec`] for hot
+    /// loops that inspect many rows.
+    pub fn read_row_into(&self, i: usize, out: &mut BitVec) {
+        out.len = self.cols;
+        out.words.clear();
+        out.words.extend_from_slice(self.row(i));
+    }
+
+    /// `row[dst] ^= row[src]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` (the result would trivially be zero and the
+    /// disjoint borrow below would alias).
+    pub fn xor_rows(&mut self, dst: usize, src: usize) {
+        assert_ne!(dst, src, "xor_rows requires distinct rows");
+        let (lo, hi) = (dst.min(src), dst.max(src));
+        let (head, tail) = self.words.split_at_mut(hi * self.wpr);
+        let lo_row = &mut head[lo * self.wpr..lo * self.wpr + self.wpr];
+        let hi_row = &mut tail[..self.wpr];
+        if dst < src {
+            xor_words(lo_row, hi_row);
+        } else {
+            xor_words(hi_row, lo_row);
+        }
+    }
+
+    /// `row[i] ^= v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_cols()`.
+    #[inline]
+    pub fn xor_bitvec_into_row(&mut self, i: usize, v: &BitVec) {
+        assert_eq!(v.len(), self.cols, "row width mismatch");
+        xor_words(&mut self.words[i * self.wpr..(i + 1) * self.wpr], v.words());
+    }
+
+    /// `out ^= row[i]` — the word-parallel reduction step of the basis.
+    #[inline]
+    pub fn xor_row_into_bitvec(&self, i: usize, out: &mut BitVec) {
+        assert_eq!(out.len(), self.cols, "row width mismatch");
+        out.xor_assign_words(self.row(i));
+    }
+
+    /// XORs another matrix of identical shape into this one, across all
+    /// rows in a single word sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn xor_assign(&mut self, other: &BitMatrix) {
+        assert_eq!(self.cols, other.cols, "column-count mismatch");
+        assert_eq!(self.rows, other.rows, "row-count mismatch");
+        xor_words(&mut self.words, &other.words);
+    }
+
+    /// Whether every cell is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix[{}x{}]", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  {:?}", self.row_to_bitvec(i))?;
+            if i + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +558,39 @@ mod tests {
     }
 
     #[test]
+    fn xor_into_matches_clone_then_xor() {
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 63, 64, 65, 200, 513] {
+            let mut a = BitVec::zeros(len);
+            a.randomize(&mut next);
+            let mut b = BitVec::zeros(len);
+            b.randomize(&mut next);
+            // Deliberately stale/mis-sized output buffer.
+            let mut out = BitVec::zeros(7);
+            out.randomize(&mut next);
+            a.xor_into(&b, &mut out);
+            assert_eq!(out, &a ^ &b, "len {len}");
+        }
+    }
+
+    #[test]
+    fn copy_from_and_zero_out() {
+        let a = BitVec::from_bits(&[true, false, true, true]);
+        let mut b = BitVec::zeros(100);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.zero_out();
+        assert!(b.is_zero());
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
     #[should_panic]
     fn xor_length_mismatch_panics() {
         let mut a = BitVec::zeros(3);
@@ -266,6 +606,40 @@ mod tests {
         v.set(150, true);
         assert_eq!(v.first_one(), Some(70));
         assert_eq!(v.ones().collect::<Vec<_>>(), vec![70, 150]);
+    }
+
+    #[test]
+    fn first_one_from_resumes_mid_word() {
+        let mut v = BitVec::zeros(300);
+        v.set(5, true);
+        v.set(64, true);
+        v.set(200, true);
+        assert_eq!(v.first_one_from(0), Some(5));
+        assert_eq!(v.first_one_from(5), Some(5));
+        assert_eq!(v.first_one_from(6), Some(64));
+        assert_eq!(v.first_one_from(64), Some(64));
+        assert_eq!(v.first_one_from(65), Some(200));
+        assert_eq!(v.first_one_from(201), None);
+        assert_eq!(v.first_one_from(299), None);
+        assert_eq!(v.first_one_from(1000), None);
+    }
+
+    #[test]
+    fn ones_iterator_matches_get_sweep() {
+        let mut state = 0xFACE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 64, 65, 127, 130, 300] {
+            let mut v = BitVec::zeros(len);
+            v.randomize(&mut next);
+            let via_iter: Vec<usize> = v.ones().collect();
+            let via_get: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+            assert_eq!(via_iter, via_get, "len {len}");
+        }
     }
 
     #[test]
@@ -308,5 +682,84 @@ mod tests {
     fn debug_shows_bits() {
         let v = BitVec::from_bits(&[true, false, true]);
         assert_eq!(format!("{v:?}"), "BitVec[101]");
+    }
+
+    #[test]
+    fn matrix_push_and_roundtrip() {
+        let mut m = BitMatrix::new(70);
+        assert_eq!(m.num_rows(), 0);
+        let mut a = BitVec::zeros(70);
+        a.set(3, true);
+        a.set(69, true);
+        let mut b = BitVec::zeros(70);
+        b.set(64, true);
+        assert_eq!(m.push_row(&a), 0);
+        assert_eq!(m.push_row(&b), 1);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row_to_bitvec(0), a);
+        assert_eq!(m.row_to_bitvec(1), b);
+        assert!(m.get(0, 3) && m.get(0, 69) && m.get(1, 64));
+        assert!(!m.get(0, 4));
+        assert_eq!(m.row_first_one(0), Some(3));
+        assert_eq!(m.row_first_one(1), Some(64));
+    }
+
+    #[test]
+    fn matrix_xor_rows_matches_bitvec_xor() {
+        let a = BitVec::from_bits(&[true, true, false, true]);
+        let b = BitVec::from_bits(&[false, true, true, false]);
+        let mut m = BitMatrix::new(4);
+        m.push_row(&a);
+        m.push_row(&b);
+        m.xor_rows(1, 0);
+        assert_eq!(m.row_to_bitvec(1), &a ^ &b);
+        assert_eq!(m.row_to_bitvec(0), a);
+        m.xor_rows(0, 1);
+        assert_eq!(m.row_to_bitvec(0), b);
+    }
+
+    #[test]
+    fn matrix_row_bitvec_xor_bridges() {
+        let mut m = BitMatrix::with_rows(2, 130);
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(129, true);
+        m.xor_bitvec_into_row(1, &v);
+        assert!(m.row_is_zero(0));
+        assert!(!m.row_is_zero(1));
+        let mut out = BitVec::zeros(130);
+        m.xor_row_into_bitvec(1, &mut out);
+        assert_eq!(out, v);
+        // XOR in again: cancels.
+        m.xor_bitvec_into_row(1, &v);
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn matrix_whole_matrix_xor() {
+        let mut a = BitMatrix::with_rows(3, 65);
+        let mut b = BitMatrix::with_rows(3, 65);
+        a.set(0, 64, true);
+        a.set(2, 1, true);
+        b.set(0, 64, true);
+        b.set(1, 7, true);
+        a.xor_assign(&b);
+        assert!(!a.get(0, 64));
+        assert!(a.get(1, 7));
+        assert!(a.get(2, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matrix_xor_rows_same_row_panics() {
+        let mut m = BitMatrix::with_rows(2, 8);
+        m.xor_rows(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matrix_push_wrong_width_panics() {
+        let mut m = BitMatrix::new(8);
+        m.push_row(&BitVec::zeros(9));
     }
 }

@@ -25,7 +25,8 @@
 //! ```
 
 pub mod bitvec;
+pub mod reference;
 pub mod solve;
 
-pub use bitvec::BitVec;
+pub use bitvec::{BitMatrix, BitVec};
 pub use solve::{solve, solve_brute_force, Basis};

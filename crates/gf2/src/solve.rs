@@ -1,6 +1,20 @@
 //! Incremental GF(2) basis and linear solving with certificates.
+//!
+//! The elimination kernel here is the decoder's hot path (Lemma 3.5 /
+//! Theorem 3.6), so the basis is engineered for speed:
+//!
+//! * **Pivot-indexed layout** — `pivot_rows[p]` maps a pivot position to
+//!   its basis row in O(1), replacing the `O(rank)` scan of the naive
+//!   implementation (kept as [`crate::reference::NaiveBasis`]); nothing is
+//!   ever re-sorted.
+//! * **Contiguous rows** — basis vectors and their tracked combinations
+//!   live in two [`BitMatrix`] banks (one allocation each), so the
+//!   word-parallel XOR sweeps of a reduction walk sequential memory.
+//! * **Batched insertion** — [`Basis::insert_all`] eliminates a whole block
+//!   of vectors while reusing one pair of scratch buffers, avoiding the
+//!   per-insert allocations of repeated [`Basis::insert`] calls.
 
-use crate::bitvec::BitVec;
+use crate::bitvec::{BitMatrix, BitVec};
 
 /// An incremental GF(2) basis over vectors of a fixed dimension.
 ///
@@ -13,10 +27,13 @@ use crate::bitvec::BitVec;
 pub struct Basis {
     dim: usize,
     num_inserted: usize,
-    /// `(pivot, vector, combination)` — `vector` has its lowest set bit at
-    /// `pivot`, and equals the XOR of the inserted vectors flagged in
-    /// `combination`.
-    rows: Vec<(usize, BitVec, BitVec)>,
+    /// `pivot_rows[p]` is the index (into `vecs`/`combos`) of the basis row
+    /// whose lowest set bit is `p`, if any — the O(1) pivot lookup.
+    pivot_rows: Vec<Option<u32>>,
+    /// Basis vectors, one matrix row each, in insertion order.
+    vecs: BitMatrix,
+    /// Tracked combinations, row-aligned with `vecs`.
+    combos: BitMatrix,
     /// Upper bound on the number of vectors that will be inserted (sets the
     /// combination width).
     capacity: usize,
@@ -26,17 +43,22 @@ impl Basis {
     /// Creates an empty basis for vectors with `dim` bits, able to absorb up
     /// to `capacity` insertions.
     pub fn new(dim: usize, capacity: usize) -> Self {
+        // Rank can never exceed min(dim, capacity); reserving it up front
+        // keeps the row banks from reallocating mid-elimination.
+        let max_rank = dim.min(capacity);
         Basis {
             dim,
             num_inserted: 0,
-            rows: Vec::new(),
+            pivot_rows: vec![None; dim],
+            vecs: BitMatrix::with_capacity(max_rank, dim),
+            combos: BitMatrix::with_capacity(max_rank, capacity),
             capacity,
         }
     }
 
     /// Current rank.
     pub fn rank(&self) -> usize {
-        self.rows.len()
+        self.vecs.num_rows()
     }
 
     /// Number of vectors inserted so far.
@@ -51,35 +73,67 @@ impl Basis {
     ///
     /// Panics if the vector has the wrong dimension or capacity is exceeded.
     pub fn insert(&mut self, v: &BitVec) -> bool {
+        let mut work = BitVec::zeros(self.dim);
+        let mut combo = BitVec::zeros(self.capacity);
+        self.insert_reusing(v, &mut work, &mut combo)
+    }
+
+    /// Inserts a whole block of vectors, returning one independence flag per
+    /// vector (`out[i]` is what `insert(&block[i])` would have returned).
+    ///
+    /// Equivalent to calling [`Basis::insert`] in a loop, but the
+    /// elimination sweeps share one pair of scratch buffers across the
+    /// block, so per-vector work is pure word-parallel XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector has the wrong dimension or capacity is exceeded.
+    pub fn insert_all(&mut self, block: &[BitVec]) -> Vec<bool> {
+        let mut work = BitVec::zeros(self.dim);
+        let mut combo = BitVec::zeros(self.capacity);
+        block
+            .iter()
+            .map(|v| self.insert_reusing(v, &mut work, &mut combo))
+            .collect()
+    }
+
+    fn insert_reusing(&mut self, v: &BitVec, work: &mut BitVec, combo: &mut BitVec) -> bool {
         assert_eq!(v.len(), self.dim, "dimension mismatch");
         assert!(self.num_inserted < self.capacity, "capacity exceeded");
         let idx = self.num_inserted;
         self.num_inserted += 1;
-        let mut combo = BitVec::zeros(self.capacity);
+        work.copy_from(v);
+        combo.zero_out();
         combo.set(idx, true);
-        let mut vec = v.clone();
-        self.reduce(&mut vec, &mut combo);
-        match vec.first_one() {
+        match self.reduce_in_place(work, combo) {
             None => false,
             Some(p) => {
-                self.rows.push((p, vec, combo));
-                // Keep rows sorted by pivot for a deterministic layout.
-                self.rows.sort_by_key(|r| r.0);
+                let row = self.vecs.push_row(work);
+                self.combos.push_row(combo);
+                self.pivot_rows[p] = Some(row as u32);
                 true
             }
         }
     }
 
     /// Reduces `vec` (and its tracked combination) by the basis in place.
-    fn reduce(&self, vec: &mut BitVec, combo: &mut BitVec) {
+    /// Returns the surviving pivot, or `None` if `vec` reduced to zero.
+    ///
+    /// Each round finds the lowest surviving bit (resuming the scan where
+    /// the previous round stopped — XORing a row with pivot `p` never
+    /// reintroduces bits below `p`) and cancels it with the O(1)-indexed
+    /// pivot row.
+    fn reduce_in_place(&self, vec: &mut BitVec, combo: &mut BitVec) -> Option<usize> {
+        let mut from = 0;
         loop {
-            let Some(p) = vec.first_one() else { return };
-            match self.rows.iter().find(|r| r.0 == p) {
-                Some((_, row, rcombo)) => {
-                    vec.xor_assign(row);
-                    combo.xor_assign(rcombo);
+            let p = vec.first_one_from(from)?;
+            match self.pivot_rows[p] {
+                Some(row) => {
+                    self.vecs.xor_row_into_bitvec(row as usize, vec);
+                    self.combos.xor_row_into_bitvec(row as usize, combo);
+                    from = p + 1;
                 }
-                None => return,
+                None => return Some(p),
             }
         }
     }
@@ -91,8 +145,7 @@ impl Basis {
         assert_eq!(target.len(), self.dim, "dimension mismatch");
         let mut vec = target.clone();
         let mut combo = BitVec::zeros(self.capacity);
-        self.reduce(&mut vec, &mut combo);
-        if vec.is_zero() {
+        if self.reduce_in_place(&mut vec, &mut combo).is_none() {
             Some(combo)
         } else {
             None
@@ -108,9 +161,7 @@ impl Basis {
 /// `O((f + log n)·f²)` decoder cost of Theorem 3.6.
 pub fn solve(columns: &[BitVec], target: &BitVec) -> Option<BitVec> {
     let mut basis = Basis::new(target.len(), columns.len().max(1));
-    for c in columns {
-        basis.insert(c);
-    }
+    basis.insert_all(columns);
     basis.express(target)
 }
 
@@ -168,6 +219,26 @@ mod tests {
         assert!(basis.insert(&bv(&[0, 1, 1])));
         assert!(!basis.insert(&bv(&[1, 0, 1]))); // sum of the first two
         assert_eq!(basis.rank(), 2);
+    }
+
+    #[test]
+    fn insert_all_matches_sequential_inserts() {
+        let block = vec![
+            bv(&[1, 1, 0, 0]),
+            bv(&[0, 1, 1, 0]),
+            bv(&[1, 0, 1, 0]), // dependent
+            bv(&[0, 0, 1, 1]),
+        ];
+        let mut batched = Basis::new(4, block.len());
+        let flags = batched.insert_all(&block);
+        let mut sequential = Basis::new(4, block.len());
+        let seq_flags: Vec<bool> = block.iter().map(|v| sequential.insert(v)).collect();
+        assert_eq!(flags, seq_flags);
+        assert_eq!(flags, vec![true, true, false, true]);
+        assert_eq!(batched.rank(), sequential.rank());
+        for tgt in [bv(&[1, 0, 0, 1]), bv(&[0, 0, 0, 1]), bv(&[1, 1, 1, 1])] {
+            assert_eq!(batched.express(&tgt), sequential.express(&tgt));
+        }
     }
 
     #[test]

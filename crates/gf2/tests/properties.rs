@@ -1,6 +1,9 @@
-//! Property-based tests for GF(2) algebra.
+//! Property-based tests for GF(2) algebra, including differential tests of
+//! the pivot-indexed [`Basis`] against the scan-based
+//! [`reference::NaiveBasis`] it replaced.
 
-use ftl_gf2::{solve, solve_brute_force, Basis, BitVec};
+use ftl_gf2::reference::{self, NaiveBasis};
+use ftl_gf2::{solve, solve_brute_force, Basis, BitMatrix, BitVec};
 use proptest::prelude::*;
 
 fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
@@ -8,6 +11,16 @@ fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
 }
 
 proptest! {
+    /// XOR at the bit-vector level is XOR bit by bit.
+    #[test]
+    fn xor_is_bitwise(a in bitvec_strategy(130), b in bitvec_strategy(130)) {
+        let x = &a ^ &b;
+        for i in 0..130 {
+            prop_assert_eq!(x.get(i), a.get(i) ^ b.get(i));
+        }
+        prop_assert_eq!(x.count_ones(), (0..130).filter(|&i| x.get(i)).count());
+    }
+
     /// XOR is associative, commutative, self-inverse.
     #[test]
     fn xor_group_laws(len in 1usize..200,
@@ -131,5 +144,139 @@ proptest! {
             acc.xor_assign(&vecs[i]);
         }
         prop_assert_eq!(acc, target);
+    }
+
+    /// The pivot-indexed basis is bit-for-bit equivalent to the scan-based
+    /// reference: same per-insert independence flags, same rank, and the
+    /// same membership answers **and combination certificates** for both
+    /// in-span and out-of-span targets.
+    #[test]
+    fn pivot_indexed_basis_matches_naive_reference(
+        dim in 1usize..40,
+        vecs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..40), 0..20),
+        target in proptest::collection::vec(any::<bool>(), 1..40),
+        mask in any::<u16>(),
+    ) {
+        let vecs: Vec<BitVec> = vecs
+            .into_iter()
+            .map(|mut v| {
+                v.resize(dim, false);
+                BitVec::from_bits(&v)
+            })
+            .collect();
+        let capacity = vecs.len() + 1;
+        let mut fast = Basis::new(dim, capacity);
+        let mut naive = NaiveBasis::new(dim, capacity);
+        for v in &vecs {
+            prop_assert_eq!(fast.insert(v), naive.insert(v));
+            prop_assert_eq!(fast.rank(), naive.rank());
+            prop_assert_eq!(fast.num_inserted(), naive.num_inserted());
+        }
+        // An arbitrary target (may or may not be in span).
+        let mut t = target;
+        t.resize(dim, false);
+        let t = BitVec::from_bits(&t);
+        prop_assert_eq!(fast.express(&t), naive.express(&t));
+        // A guaranteed-in-span target: XOR of a masked subset.
+        let mut in_span = BitVec::zeros(dim);
+        for (i, v) in vecs.iter().enumerate() {
+            if (mask >> (i % 16)) & 1 == 1 {
+                in_span.xor_assign(v);
+            }
+        }
+        prop_assert_eq!(fast.express(&in_span), naive.express(&in_span));
+    }
+
+    /// Batched insertion is equivalent to one-at-a-time insertion — same
+    /// flags, same rank, same certificates — and `solve` agrees with the
+    /// naive scan-based solver.
+    #[test]
+    fn insert_all_matches_sequential_and_naive(
+        dim in 1usize..32,
+        vecs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..32), 1..16),
+        target in proptest::collection::vec(any::<bool>(), 1..32),
+    ) {
+        let vecs: Vec<BitVec> = vecs
+            .into_iter()
+            .map(|mut v| {
+                v.resize(dim, false);
+                BitVec::from_bits(&v)
+            })
+            .collect();
+        let mut batched = Basis::new(dim, vecs.len());
+        let batched_flags = batched.insert_all(&vecs);
+        let mut sequential = Basis::new(dim, vecs.len());
+        let sequential_flags: Vec<bool> = vecs.iter().map(|v| sequential.insert(v)).collect();
+        prop_assert_eq!(batched_flags, sequential_flags);
+        prop_assert_eq!(batched.rank(), sequential.rank());
+        let mut t = target;
+        t.resize(dim, false);
+        let t = BitVec::from_bits(&t);
+        prop_assert_eq!(batched.express(&t), sequential.express(&t));
+        prop_assert_eq!(solve(&vecs, &t), reference::solve_naive(&vecs, &t));
+    }
+
+    /// `xor_into` produces exactly what the old clone-then-`xor_assign`
+    /// pattern produced, regardless of the output buffer's prior state.
+    #[test]
+    fn xor_into_matches_clone_xor_assign(
+        len in 1usize..300,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        stale_len in 0usize..80,
+    ) {
+        let mk = |seed: u64, n: usize| {
+            let mut v = BitVec::zeros(n);
+            let mut s = seed | 1;
+            v.randomize(|| { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s });
+            v
+        };
+        let a = mk(seed_a, len);
+        let b = mk(seed_b, len);
+        let mut out = mk(seed_a ^ seed_b, stale_len);
+        a.xor_into(&b, &mut out);
+        let mut cloned = a.clone();
+        cloned.xor_assign(&b);
+        prop_assert_eq!(out, cloned);
+    }
+
+    /// `BitMatrix` rows behave exactly like the `BitVec`s they were built
+    /// from: round-trips, first-one scans, row XOR vs `xor_assign`.
+    #[test]
+    fn bitmatrix_rows_match_bitvec_ops(
+        cols in 1usize..200,
+        seeds in proptest::collection::vec(any::<u64>(), 2..8),
+    ) {
+        let rows: Vec<BitVec> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut v = BitVec::zeros(cols);
+                let mut s = seed | 1;
+                v.randomize(|| { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s });
+                v
+            })
+            .collect();
+        let mut m = BitMatrix::new(cols);
+        for r in &rows {
+            m.push_row(r);
+        }
+        prop_assert_eq!(m.num_rows(), rows.len());
+        prop_assert_eq!(m.num_cols(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(m.row_to_bitvec(i), r.clone());
+            prop_assert_eq!(m.row_first_one(i), r.first_one());
+            prop_assert_eq!(m.row_is_zero(i), r.is_zero());
+        }
+        // row[0] ^= row[1] matches the BitVec path (old clone + xor_assign).
+        let mut expect = rows[0].clone();
+        expect.xor_assign(&rows[1]);
+        m.xor_rows(0, 1);
+        prop_assert_eq!(m.row_to_bitvec(0), expect.clone());
+        // Bridging ops: XOR a row into a BitVec and a BitVec into a row.
+        let mut out = BitVec::zeros(cols);
+        m.xor_row_into_bitvec(0, &mut out);
+        prop_assert_eq!(out, expect.clone());
+        m.xor_bitvec_into_row(0, &expect);
+        prop_assert!(m.row_is_zero(0));
     }
 }

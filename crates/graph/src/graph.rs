@@ -60,7 +60,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("{x:?} is not an endpoint of edge ({:?},{:?})", self.u, self.v)
+            panic!(
+                "{x:?} is not an endpoint of edge ({:?},{:?})",
+                self.u, self.v
+            )
         }
     }
 

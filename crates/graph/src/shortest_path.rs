@@ -61,7 +61,7 @@ pub fn dijkstra_within(
                 continue;
             }
             let vi = nb.vertex.index();
-            if dist[vi].map_or(true, |old| nd < old) {
+            if dist[vi].is_none_or(|old| nd < old) {
                 dist[vi] = Some(nd);
                 parent[vi] = Some((u, nb.edge));
                 heap.push(Reverse((nd, vi)));

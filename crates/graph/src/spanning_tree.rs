@@ -62,8 +62,8 @@ impl SpanningTree {
         let n = graph.num_vertices();
         assert_eq!(parent.len(), n);
         let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some((p, _)) = parent[v] {
+        for (v, par) in parent.iter().enumerate() {
+            if let Some((p, _)) = par {
                 children[p.index()].push(VertexId::new(v));
             }
         }

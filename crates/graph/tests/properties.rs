@@ -8,8 +8,11 @@ use proptest::prelude::*;
 
 /// Strategy: a connected graph described by `(n, extra edge pairs)`.
 fn connected_graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..40, proptest::collection::vec((0usize..40, 0usize..40), 0..60)).prop_map(
-        |(n, extra)| {
+    (
+        2usize..40,
+        proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    )
+        .prop_map(|(n, extra)| {
             let mut b = GraphBuilder::new(n);
             for i in 1..n {
                 b.add_unit_edge(i / 2, i); // binary-tree backbone: connected
@@ -20,8 +23,7 @@ fn connected_graph_strategy() -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 /// Strategy: a weighted connected graph.
@@ -98,9 +100,9 @@ proptest! {
         let s = VertexId::new(0);
         let t = VertexId::new(g.num_vertices() - 1);
         let before = distance_avoiding(&g, s, t, &[]).unwrap();
-        match distance_avoiding(&g, s, t, &mask) {
-            Some(after) => prop_assert!(after >= before),
-            None => {} // disconnection is a legal increase to infinity
+        // A `None` result (disconnection) is a legal increase to infinity.
+        if let Some(after) = distance_avoiding(&g, s, t, &mask) {
+            prop_assert!(after >= before);
         }
     }
 

@@ -120,11 +120,7 @@ mod tests {
                 let (va, vb) = (VertexId::new(a), VertexId::new(b));
                 let la = labels[a].unwrap();
                 let lb = labels[b].unwrap();
-                assert_eq!(
-                    la.is_ancestor_of(&lb),
-                    t.is_ancestor(va, vb),
-                    "({a},{b})"
-                );
+                assert_eq!(la.is_ancestor_of(&lb), t.is_ancestor(va, vb), "({a},{b})");
             }
         }
     }

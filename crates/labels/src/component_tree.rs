@@ -138,8 +138,8 @@ impl ComponentTree {
             };
         }
         let mut children: Vec<Vec<ComponentId>> = vec![Vec::new(); k];
-        for c in 0..k {
-            if let Some(p) = parent[c] {
+        for (c, par) in parent.iter().enumerate().take(k) {
+            if let Some(p) = par {
                 children[p.index()].push(ComponentId(c));
             }
         }
@@ -399,8 +399,7 @@ mod tests {
         };
         for _ in 0..50 {
             let n = 2 + (next() % 40) as usize;
-            let edges: Vec<(usize, usize)> =
-                (1..n).map(|i| ((next() as usize) % i, i)).collect();
+            let edges: Vec<(usize, usize)> = (1..n).map(|i| ((next() as usize) % i, i)).collect();
             let f = 1 + (next() as usize) % edges.len().min(6);
             let mut faults = Vec::new();
             while faults.len() < f {

@@ -1,0 +1,198 @@
+//! Minimal fork-join data parallelism for the construction sweeps.
+//!
+//! The labeling and routing schemes spend their preprocessing time in
+//! embarrassingly parallel per-vertex / per-edge / per-tree sweeps. This
+//! crate provides the one primitive they need — an order-preserving indexed
+//! parallel map — implemented with `std::thread::scope` so the workspace
+//! stays dependency-free (the build environment has no crates registry, so
+//! rayon itself is unavailable).
+//!
+//! # The `parallel` feature
+//!
+//! The `parallel` feature (**default on**, forwarded by every consuming
+//! crate as its own `parallel` feature) chooses the implementation:
+//!
+//! * enabled — work is split into contiguous chunks across
+//!   `std::thread::available_parallelism()` scoped threads;
+//! * disabled (`--no-default-features`) — the same API degrades to a plain
+//!   sequential loop, for deterministic single-threaded profiling or
+//!   platforms without threads.
+//!
+//! Results are bit-identical either way: every closure is pure in its index
+//! and chunk results are spliced back in order.
+
+/// Default minimum sweep size before threads are spawned. Each
+/// `std::thread::scope` worker costs tens of µs to spawn (there is no
+/// pool), so fine-grained sweeps — items of tens to hundreds of ns, like
+/// label assembly — only win well into the thousands of items. Call sites
+/// with heavier items pick a lower threshold via
+/// [`par_map_indexed_with_min`] or [`par_map_indexed_coarse`].
+pub const MIN_PARALLEL_LEN: usize = 4096;
+
+#[cfg(feature = "parallel")]
+static FORCE_SERIAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Runtime escape hatch: forces every sweep onto the calling thread even
+/// when the `parallel` feature is compiled in. Used by the benchmark
+/// harness to measure serial-vs-parallel construction from one binary, and
+/// handy under profilers.
+pub fn force_serial(on: bool) {
+    #[cfg(feature = "parallel")]
+    FORCE_SERIAL.store(on, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "parallel"))]
+    let _ = on;
+}
+
+/// Order-preserving parallel map over `0..n`: returns
+/// `vec![f(0), f(1), .., f(n-1)]`.
+///
+/// `f` must be pure in its index argument — chunks execute concurrently in
+/// unspecified relative order. Sweeps shorter than [`MIN_PARALLEL_LEN`]
+/// run serially; for coarse-grained items (milliseconds each) use
+/// [`par_map_indexed_coarse`], which parallelizes from 2 items up.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_indexed_with_min(n, MIN_PARALLEL_LEN, f)
+}
+
+/// [`par_map_indexed`] for coarse-grained items: parallelizes whenever
+/// there are at least two items, so per-item work that dwarfs thread spawn
+/// cost (e.g. building a whole cover tree's routing material per item)
+/// uses all cores even for short work lists.
+pub fn par_map_indexed_coarse<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_indexed_with_min(n, 2, f)
+}
+
+/// [`par_map_indexed`] with an explicit parallelization threshold: the
+/// sweep stays serial below `min_len` items. Pick roughly
+/// `(threads × spawn cost) / per-item cost`; see [`MIN_PARALLEL_LEN`].
+pub fn par_map_indexed_with_min<U, F>(n: usize, min_len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if n >= min_len.max(2)
+            && threads > 1
+            && !FORCE_SERIAL.load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return par_map_chunked(n, threads, &f);
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = min_len;
+    (0..n).map(f).collect()
+}
+
+/// Order-preserving parallel map over a slice.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(feature = "parallel")]
+fn par_map_chunked<U, F>(n: usize, threads: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let chunk = n.div_ceil(threads.min(n));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n.div_ceil(chunk))
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            // Re-raise worker panics with their original payload so an
+            // assertion message reads the same whether the sweep took the
+            // serial or the parallel path.
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_small_and_large() {
+        for n in [0, 1, MIN_PARALLEL_LEN - 1, MIN_PARALLEL_LEN, 1000] {
+            let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+            assert_eq!(par_map_indexed(n, |i| i * i), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn coarse_map_matches_sequential_below_min_len() {
+        for n in [0usize, 1, 2, 3, MIN_PARALLEL_LEN] {
+            let expect: Vec<usize> = (0..n).map(|i| i + 7).collect();
+            assert_eq!(par_map_indexed_coarse(n, |i| i + 7), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_keeps_its_message() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(1000, |i| {
+                assert!(i != 900, "original assertion message");
+                i
+            })
+        })
+        .expect_err("sweep must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("original assertion message"),
+            "payload was replaced: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let items: Vec<String> = (0..500).map(|i| format!("x{i}")).collect();
+        let lens = par_map(&items, |s| s.len());
+        let expect: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(lens, expect);
+    }
+
+    #[test]
+    fn heavy_closure_results_spliced_in_order() {
+        let out = par_map_indexed(300, |i| {
+            // Unequal per-item work to exercise chunk imbalance.
+            (0..(i % 7) * 100).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+        });
+        let expect: Vec<u64> = (0..300)
+            .map(|i| {
+                (0..(i % 7) * 100).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -194,12 +194,7 @@ mod tests {
     #[test]
     fn full_info_zero_faults_is_optimal() {
         let g = generators::grid(3, 5);
-        let out = route_full_information(
-            &g,
-            VertexId::new(0),
-            VertexId::new(14),
-            &HashSet::new(),
-        );
+        let out = route_full_information(&g, VertexId::new(0), VertexId::new(14), &HashSet::new());
         assert!(out.delivered);
         assert_eq!(Some(out.weight), out.optimal);
         assert_eq!(out.stretch(), Some(1.0));

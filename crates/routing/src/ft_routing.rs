@@ -108,8 +108,13 @@ impl FtRoutingScheme {
             let radius = 1u64 << i.min(62);
             let heavy: Vec<bool> = graph.edges().iter().map(|e| e.weight() > radius).collect();
             let cover = TreeCover::build(graph, &heavy, radius, params.k);
-            let mut trees = Vec::with_capacity(cover.len());
-            for (j, ct) in cover.trees.iter().enumerate() {
+            // Per-source preprocessing: every cover tree builds its routing
+            // tables and `f + 1` sketch copies independently, so the sweep
+            // runs one tree per core (`parallel` feature; see `ftl-par`).
+            // Coarse variant: each item is milliseconds of work, so
+            // parallelize even when the cover has only a handful of trees.
+            let trees: Vec<RTree> = ftl_par::par_map_indexed_coarse(cover.trees.len(), |j| {
+                let ct = &cover.trees[j];
                 let local = ct.sub.graph();
                 let routing = TreeRouting::new(local, &ct.tree, params.f);
                 let codec = routing.codec();
@@ -140,12 +145,12 @@ impl FtRoutingScheme {
                         .expect("cover tree spans its cluster")
                     })
                     .collect();
-                trees.push(RTree {
+                RTree {
                     routing,
                     codec,
                     copies,
-                });
-            }
+                }
+            });
             scales.push(RScale {
                 radius,
                 cover,
@@ -302,10 +307,7 @@ impl FtRoutingScheme {
                         out.faults_discovered = discovered_global.len();
                         return out;
                     }
-                    WalkResult::FaultDiscovered {
-                        local_edge,
-                        labels,
-                    } => {
+                    WalkResult::FaultDiscovered { local_edge, labels } => {
                         let host = ct.sub.to_host_edge(local_edge);
                         discovered_global.insert(host);
                         if !known.iter().any(|(e, _)| *e == local_edge) {
@@ -392,11 +394,7 @@ fn walk_path(
                 if cursor.probe(he) {
                     // Non-tree fault: its label is its EID, already in the
                     // header; all copies share it (same S_ID).
-                    let labels = rt
-                        .copies
-                        .iter()
-                        .map(|c| c.edge_label(nb.edge))
-                        .collect();
+                    let labels = rt.copies.iter().map(|c| c.edge_label(nb.edge)).collect();
                     cursor.retreat(&trail, start_host);
                     return WalkResult::FaultDiscovered {
                         local_edge: nb.edge,
@@ -411,8 +409,7 @@ fn walk_path(
                 let target = rt.codec.decode(&to.aux);
                 loop {
                     let table = rt.routing.table(cur);
-                    let Some((hop, gamma_ports)) =
-                        TreeRouting::next_hop_with_gamma(table, &target)
+                    let Some((hop, gamma_ports)) = TreeRouting::next_hop_with_gamma(table, &target)
                     else {
                         return WalkResult::Stuck;
                     };
@@ -445,11 +442,7 @@ fn walk_path(
                                 return WalkResult::Stuck;
                             }
                         }
-                        let labels = rt
-                            .copies
-                            .iter()
-                            .map(|c| c.edge_label(nb.edge))
-                            .collect();
+                        let labels = rt.copies.iter().map(|c| c.edge_label(nb.edge)).collect();
                         cursor.retreat(&trail, start_host);
                         return WalkResult::FaultDiscovered {
                             local_edge: nb.edge,
@@ -589,7 +582,7 @@ mod tests {
         let max_bits = scheme.max_table_bits(&g);
         let total_bits = scheme.total_table_bits(&g);
         assert!(max_bits > 0);
-        assert!(total_bits >= max_bits * 1);
+        assert!(total_bits >= max_bits);
         assert!(total_bits <= max_bits * g.num_vertices());
     }
 

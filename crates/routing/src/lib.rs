@@ -25,6 +25,13 @@
 //! order) rather than global. This is a port *renaming* per cluster and
 //! changes no size bound by more than the `O(log n)` bits ports already
 //! cost.
+//!
+//! # Features
+//!
+//! * `parallel` (default) — preprocess cover trees (routing tables plus
+//!   `f + 1` sketch copies each) one tree per core via [`ftl_par`]; disable
+//!   (`--no-default-features`) for a strictly single-threaded build.
+//!   Results are identical either way.
 
 pub mod baselines;
 pub mod forbidden_set;

@@ -74,7 +74,7 @@ proptest! {
             let members = tr.gamma_members(id);
             prop_assert!(members.contains(&child));
             if tree.children(parent).len() > f + 1 {
-                prop_assert!(members.len() >= f + 1);
+                prop_assert!(members.len() > f);
             } else {
                 prop_assert!(members.contains(&parent));
             }

@@ -32,7 +32,7 @@ impl PairwiseHash {
     ///
     /// Panics if `out_bits` is 0 or exceeds 61.
     pub fn from_seed(seed: Seed, out_bits: u32) -> Self {
-        assert!(out_bits >= 1 && out_bits <= 61, "out_bits must be in 1..=61");
+        assert!((1..=61).contains(&out_bits), "out_bits must be in 1..=61");
         let a = (seed.prf1(0x61) % (P as u64 - 1)) + 1; // non-zero mod p
         let b = seed.prf1(0x62) % P as u64;
         PairwiseHash { a, b, out_bits }

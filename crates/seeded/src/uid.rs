@@ -46,10 +46,7 @@ impl UidSpace {
     /// distinct copies so their UIDs differ).
     pub fn uid(&self, u: u32, v: u32, copy: u32) -> EdgeUid {
         let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
-        EdgeUid(
-            self.seed
-                .prf2(((lo as u64) << 32) | hi as u64, copy as u64),
-        )
+        EdgeUid(self.seed.prf2(((lo as u64) << 32) | hi as u64, copy as u64))
     }
 
     /// Lemma 3.10's validity test: does `claimed` equal the UID of the edge

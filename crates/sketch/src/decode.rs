@@ -369,11 +369,7 @@ mod tests {
             for b in 0..g.num_vertices() {
                 let (s, t) = (VertexId::new(a), VertexId::new(b));
                 let truth = connected_avoiding(g, s, t, &mask);
-                let out = decode(
-                    &scheme.vertex_label(s),
-                    &scheme.vertex_label(t),
-                    &flabels,
-                );
+                let out = decode(&scheme.vertex_label(s), &scheme.vertex_label(t), &flabels);
                 assert_eq!(out.connected, truth, "pair ({a},{b}) faults {faults:?}");
                 if out.connected {
                     let path = out.path.expect("connected answers carry a path");
@@ -408,10 +404,7 @@ mod tests {
                     let to_v = VertexId::from_raw(to.id);
                     // The tree path between them must avoid every fault.
                     for e in tree.tree_path(from_v, to_v) {
-                        assert!(
-                            !mask[e.index()],
-                            "tree segment uses faulty edge {e:?}"
-                        );
+                        assert!(!mask[e.index()], "tree segment uses faulty edge {e:?}");
                     }
                     cur = to_v;
                 }

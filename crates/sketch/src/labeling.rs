@@ -92,7 +92,14 @@ impl SketchScheme {
     /// Returns [`GraphError::Disconnected`] if `graph` is not connected.
     pub fn label(graph: &Graph, params: &SketchParams, seed: Seed) -> Result<Self, GraphError> {
         let tree = SpanningTree::bfs_tree(graph, VertexId::new(0))?;
-        Self::label_with_tree(graph, &tree, params, seed.derive(0x51D), seed.derive(0x5A), None)
+        Self::label_with_tree(
+            graph,
+            &tree,
+            params,
+            seed.derive(0x51D),
+            seed.derive(0x5A),
+            None,
+        )
     }
 
     /// Labels with a caller-supplied spanning tree, explicit seeds, and
@@ -166,40 +173,48 @@ impl SketchScheme {
             aux.map(|a| a.bits[v.index()].clone())
                 .unwrap_or_else(|| empty_aux.clone())
         };
-        // Extended identifiers.
-        let eids: Vec<Eid> = graph
-            .edge_ids()
-            .map(|(id, e)| {
-                let (u, v) = (e.u(), e.v());
-                let (lo_v, hi_v, port_lo, port_hi) = if u.raw() <= v.raw() {
-                    (u, v, port_at_u[id.index()], port_at_v[id.index()])
-                } else {
-                    (v, u, port_at_v[id.index()], port_at_u[id.index()])
-                };
-                Eid {
-                    uid: uid_space.uid(lo_v.raw(), hi_v.raw(), copy_of[id.index()]),
-                    lo: lo_v.raw(),
-                    hi: hi_v.raw(),
-                    anc_lo: AncestryLabel::of(tree, lo_v),
-                    anc_hi: AncestryLabel::of(tree, hi_v),
-                    port_lo,
-                    port_hi,
-                    aux_lo: aux_of(lo_v),
-                    aux_hi: aux_of(hi_v),
-                }
-            })
-            .collect();
-        // Per-vertex sketches (Eq. (2)).
-        let mut vertex_sketch: Vec<Sketch> = vec![Sketch::zero(*params); n];
-        for (id, e) in graph.edge_ids() {
-            if e.u() == e.v() {
-                continue; // self-loops cancel in their own sketch
+        // Extended identifiers — one independent record per edge, built in
+        // parallel (`parallel` feature; see `ftl-par`).
+        let eids: Vec<Eid> = ftl_par::par_map_indexed(graph.num_edges(), |i| {
+            let id = EdgeId::new(i);
+            let e = graph.edge(id);
+            let (u, v) = (e.u(), e.v());
+            let (lo_v, hi_v, port_lo, port_hi) = if u.raw() <= v.raw() {
+                (u, v, port_at_u[i], port_at_v[i])
+            } else {
+                (v, u, port_at_v[i], port_at_u[i])
+            };
+            Eid {
+                uid: uid_space.uid(lo_v.raw(), hi_v.raw(), copy_of[i]),
+                lo: lo_v.raw(),
+                hi: hi_v.raw(),
+                anc_lo: AncestryLabel::of(tree, lo_v),
+                anc_hi: AncestryLabel::of(tree, hi_v),
+                port_lo,
+                port_hi,
+                aux_lo: aux_of(lo_v),
+                aux_hi: aux_of(hi_v),
             }
-            let bits = eids[id.index()].to_bits();
-            let key = eids[id.index()].sampling_key();
-            vertex_sketch[e.u().index()].toggle_edge(&bits, key, sh);
-            vertex_sketch[e.v().index()].toggle_edge(&bits, key, sh);
-        }
+        });
+        // Per-vertex sketches (Eq. (2)): serialized identifier bits and
+        // sampling keys once per edge, then a per-vertex gather over
+        // incident edges — each vertex owns its sketch, so the sweep is
+        // data-race-free and runs on all cores.
+        let edge_material: Vec<(BitVec, u64)> =
+            ftl_par::par_map(&eids, |eid| (eid.to_bits(), eid.sampling_key()));
+        let vertex_sketch: Vec<Sketch> = ftl_par::par_map_indexed_with_min(n, 256, |i| {
+            let v = VertexId::new(i);
+            let mut sketch = Sketch::zero(*params);
+            for nb in graph.neighbors(v) {
+                let e = graph.edge(nb.edge);
+                if e.u() == e.v() {
+                    continue; // self-loops cancel in their own sketch
+                }
+                let (bits, key) = &edge_material[nb.edge.index()];
+                sketch.toggle_edge(bits, *key, sh);
+            }
+            sketch
+        });
         // Subtree sketches, bottom-up (reverse preorder).
         let mut subtree = vertex_sketch;
         let mut tree_info: Vec<Option<TreeEdgeInfo>> = vec![None; graph.num_edges()];
@@ -215,16 +230,14 @@ impl SketchScheme {
                 subtree[p.index()].xor_assign(&child_sketch);
             }
         }
-        let vertex_labels = (0..n)
-            .map(|i| {
-                let v = VertexId::new(i);
-                SketchVertexLabel {
-                    id: v.raw(),
-                    anc: AncestryLabel::of(tree, v),
-                    aux: aux_of(v),
-                }
-            })
-            .collect();
+        let vertex_labels = ftl_par::par_map_indexed(n, |i| {
+            let v = VertexId::new(i);
+            SketchVertexLabel {
+                id: v.raw(),
+                anc: AncestryLabel::of(tree, v),
+                aux: aux_of(v),
+            }
+        });
         let edge_labels = graph
             .edge_ids()
             .map(|(id, _)| SketchEdgeLabel {
@@ -328,8 +341,8 @@ mod tests {
             assert_eq!(direct, info.sketch_subtree, "edge {id:?}");
             // The boundary of a subtree always contains its tree edge, so
             // with L units at least one should recover some boundary edge.
-            let recovered = (0..params.units)
-                .any(|u| info.sketch_subtree.recover(u, &uid_space).is_some());
+            let recovered =
+                (0..params.units).any(|u| info.sketch_subtree.recover(u, &uid_space).is_some());
             assert!(recovered, "no unit recovered a boundary edge for {id:?}");
         }
     }
@@ -367,9 +380,15 @@ mod tests {
                 .collect(),
         };
         let tree = SpanningTree::bfs_tree(&g, VertexId::new(0)).unwrap();
-        let s =
-            SketchScheme::label_with_tree(&g, &tree, &params, Seed::new(1), Seed::new(2), Some(&aux))
-                .unwrap();
+        let s = SketchScheme::label_with_tree(
+            &g,
+            &tree,
+            &params,
+            Seed::new(1),
+            Seed::new(2),
+            Some(&aux),
+        )
+        .unwrap();
         let vl = s.vertex_label(VertexId::new(2));
         assert_eq!(vl.aux, aux.bits[2]);
         let el = s.edge_label(EdgeId::new(1)); // edge (1,2)
@@ -406,12 +425,13 @@ mod tests {
             assert_eq!(a.edge_label(id).eid, b.edge_label(id).eid);
         }
         // But sketches differ (different sampling).
-        let anything_differs = g.edge_ids().any(|(id, _)| {
-            match (a.edge_label(id).tree, b.edge_label(id).tree) {
-                (Some(x), Some(y)) => x.sketch_subtree != y.sketch_subtree,
-                _ => false,
-            }
-        });
+        let anything_differs =
+            g.edge_ids().any(
+                |(id, _)| match (a.edge_label(id).tree, b.edge_label(id).tree) {
+                    (Some(x), Some(y)) => x.sketch_subtree != y.sketch_subtree,
+                    _ => false,
+                },
+            );
         assert!(anything_differs);
     }
 }

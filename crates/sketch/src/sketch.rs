@@ -2,7 +2,7 @@
 //! (Eq. (2), Lemmas 3.9/3.10/3.13).
 
 use crate::eid::Eid;
-use ftl_gf2::BitVec;
+use ftl_gf2::{BitMatrix, BitVec};
 use ftl_graph::Graph;
 use ftl_seeded::{PairwiseHash, Seed, UidSpace};
 
@@ -90,8 +90,9 @@ impl SketchParams {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
     params: SketchParams,
-    /// Cell `(i, j)` at index `i * levels + j`.
-    cells: Vec<BitVec>,
+    /// Cell `(i, j)` is row `i * levels + j` of one contiguous bit matrix,
+    /// so XOR composition of whole sketches is a single word sweep.
+    cells: BitMatrix,
 }
 
 impl Sketch {
@@ -100,7 +101,7 @@ impl Sketch {
         let n = params.units * params.levels as usize;
         Sketch {
             params,
-            cells: vec![BitVec::zeros(params.cell_bits()); n],
+            cells: BitMatrix::with_rows(n, params.cell_bits()),
         }
     }
 
@@ -116,9 +117,7 @@ impl Sketch {
     /// Panics if the shapes differ.
     pub fn xor_assign(&mut self, other: &Sketch) {
         assert_eq!(self.params, other.params, "sketch shape mismatch");
-        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
-            a.xor_assign(b);
-        }
+        self.cells.xor_assign(&other.cells);
     }
 
     /// XORs one edge into every level it is sampled at, in every unit.
@@ -128,7 +127,8 @@ impl Sketch {
         for i in 0..self.params.units {
             let lvl = self.params.level_of(sh, i, key);
             for j in 0..=lvl {
-                self.cells[i * self.params.levels as usize + j as usize].xor_assign(eid_bits);
+                self.cells
+                    .xor_bitvec_into_row(i * self.params.levels as usize + j as usize, eid_bits);
             }
         }
     }
@@ -138,12 +138,15 @@ impl Sketch {
     /// identifier under `S_ID`.
     pub fn recover(&self, unit: usize, sid: &UidSpace) -> Option<Eid> {
         let base = unit * self.params.levels as usize;
+        // One scratch cell reused across the level scan — decoding calls
+        // recover per unit, so per-row allocations would add up fast.
+        let mut cell = BitVec::zeros(self.params.cell_bits());
         for j in 0..self.params.levels as usize {
-            let cell = &self.cells[base + j];
-            if cell.is_zero() {
+            if self.cells.row_is_zero(base + j) {
                 continue;
             }
-            let eid = Eid::from_bits(cell);
+            self.cells.read_row_into(base + j, &mut cell);
+            let eid = Eid::from_bits(&cell);
             if eid.validate(sid, self.params.max_copies) {
                 return Some(eid);
             }
@@ -154,7 +157,7 @@ impl Sketch {
     /// Whether every cell is zero (no boundary edges — a non-growable
     /// component sketch).
     pub fn is_zero(&self) -> bool {
-        self.cells.iter().all(BitVec::is_zero)
+        self.cells.is_zero()
     }
 
     /// Size of this sketch in bits.
@@ -167,7 +170,6 @@ impl Sketch {
 mod tests {
     use super::*;
     use ftl_labels::AncestryLabel;
-    use ftl_seeded::EdgeUid;
 
     fn params() -> SketchParams {
         SketchParams {

@@ -95,7 +95,7 @@ impl TreeCover {
             let dij = dijkstra_within(graph, v0, forbidden, max_radius);
             let count_unsat = |r: u64| -> usize {
                 (0..n)
-                    .filter(|&i| unsatisfied[i] && dij.dist[i].map_or(false, |d| d <= r))
+                    .filter(|&i| unsatisfied[i] && dij.dist[i].is_some_and(|d| d <= r))
                     .count()
             };
             let mut r = 0u64;
@@ -104,7 +104,7 @@ impl TreeCover {
             }
             let cluster_radius = r + rho;
             let cluster: Vec<VertexId> = (0..n)
-                .filter(|&i| dij.dist[i].map_or(false, |d| d <= cluster_radius))
+                .filter(|&i| dij.dist[i].is_some_and(|d| d <= cluster_radius))
                 .map(VertexId::new)
                 .collect();
             let sub = InducedSubgraph::new(graph, &cluster, |e| {
@@ -123,7 +123,7 @@ impl TreeCover {
             // Satisfy all unsatisfied centers within r (their rho-balls lie
             // inside the cluster).
             for i in 0..n {
-                if unsatisfied[i] && dij.dist[i].map_or(false, |d| d <= r) {
+                if unsatisfied[i] && dij.dist[i].is_some_and(|d| d <= r) {
                     unsatisfied[i] = false;
                     home[i] = idx;
                     remaining -= 1;
@@ -164,9 +164,9 @@ impl TreeCover {
         let n = self.home.len();
         let mut count = vec![0usize; n];
         for t in &self.trees {
-            for i in 0..n {
+            for (i, c) in count.iter_mut().enumerate().take(n) {
                 if t.sub.contains_vertex(VertexId::new(i)) {
-                    count[i] += 1;
+                    *c += 1;
                 }
             }
         }

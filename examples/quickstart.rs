@@ -34,8 +34,7 @@ fn main() {
     let corner_cut: Vec<EdgeId> = g.neighbors(s).iter().map(|nb| nb.edge).collect();
     let fault_labels: Vec<_> = corner_cut.iter().map(|&e| labeling.edge_label(e)).collect();
 
-    let connected =
-        labeling.decode(&labeling.vertex_label(s), &labeling.vertex_label(t), &[]);
+    let connected = labeling.decode(&labeling.vertex_label(s), &labeling.vertex_label(t), &[]);
     println!("no faults:        s-t connected = {connected}");
     let connected = labeling.decode(
         &labeling.vertex_label(s),

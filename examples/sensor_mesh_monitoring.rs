@@ -16,11 +16,18 @@ fn main() {
     // A sensor mesh: random connected graph with some extra links.
     let n = 60;
     let g = generators::connected_random(n, 0.04, 1, &mut rng);
-    println!("sensor mesh: {} nodes, {} links", g.num_vertices(), g.num_edges());
+    println!(
+        "sensor mesh: {} nodes, {} links",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Label once with each scheme, for several fault budgets.
     println!("\nlabel budget comparison (edge label bits):");
-    println!("{:>4} | {:>18} | {:>14}", "f", "cycle-space (3.6)", "sketch (3.7)");
+    println!(
+        "{:>4} | {:>18} | {:>14}",
+        "f", "cycle-space (3.6)", "sketch (3.7)"
+    );
     for f in [1usize, 4, 16, 64] {
         let cs = ConnectivityLabeling::new(&g, SchemeKind::CycleSpace, f, Seed::new(1));
         let sk = ConnectivityLabeling::new(&g, SchemeKind::Sketch, f, Seed::new(1));

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Dory–Parter PODC'21 reproduction.
+//!
+//! Re-exports every workspace crate under one roof so downstream users (and
+//! the repo-level integration tests and examples) can depend on a single
+//! `ftl` crate.
+
+pub use ftl_core as core_schemes;
+pub use ftl_cycle_space as cycle_space;
+pub use ftl_gf2 as gf2;
+pub use ftl_graph as graph;
+pub use ftl_labels as labels;
+pub use ftl_routing as routing;
+pub use ftl_seeded as seeded;
+pub use ftl_sketch as sketch;
+pub use ftl_tree_cover as tree_cover;

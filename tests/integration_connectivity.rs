@@ -44,7 +44,10 @@ fn both_schemes_on_every_family() {
         ("star", generators::star(20)),
         ("caterpillar", generators::caterpillar(6, 3)),
         ("complete", generators::complete(10)),
-        ("er-connected", generators::connected_random(30, 0.08, 1, &mut rng)),
+        (
+            "er-connected",
+            generators::connected_random(30, 0.08, 1, &mut rng),
+        ),
         ("er-sparse", generators::erdos_renyi(30, 0.05, &mut rng)),
         ("fat-tree", generators::fat_tree_like(3, 2, 2, 2)),
     ];
@@ -87,7 +90,11 @@ fn adversarial_fault_patterns() {
     for kind in [SchemeKind::CycleSpace, SchemeKind::Sketch] {
         let labeling = ConnectivityLabeling::new(&g, kind, 8, Seed::new(9));
         // Isolate vertex 5 (all incident edges fail).
-        let iso: Vec<EdgeId> = g.neighbors(VertexId::new(5)).iter().map(|nb| nb.edge).collect();
+        let iso: Vec<EdgeId> = g
+            .neighbors(VertexId::new(5))
+            .iter()
+            .map(|nb| nb.edge)
+            .collect();
         let fl: Vec<_> = iso.iter().map(|&e| labeling.edge_label(e)).collect();
         let mask = forbidden_mask(&g, &iso);
         for t in 0..16 {
@@ -128,9 +135,16 @@ fn label_bits_match_theory_shape() {
         assert!(bits > prev, "cycle-space labels grow with f");
         prev = bits;
     }
-    let small = ConnectivityLabeling::new(&generators::grid(4, 4), SchemeKind::Sketch, 1, Seed::new(1));
-    let large = ConnectivityLabeling::new(&generators::grid(8, 8), SchemeKind::Sketch, 1, Seed::new(1));
+    let small =
+        ConnectivityLabeling::new(&generators::grid(4, 4), SchemeKind::Sketch, 1, Seed::new(1));
+    let large =
+        ConnectivityLabeling::new(&generators::grid(8, 8), SchemeKind::Sketch, 1, Seed::new(1));
     assert!(large.edge_label_bits() > small.edge_label_bits());
-    let f_large = ConnectivityLabeling::new(&generators::grid(8, 8), SchemeKind::Sketch, 32, Seed::new(1));
+    let f_large = ConnectivityLabeling::new(
+        &generators::grid(8, 8),
+        SchemeKind::Sketch,
+        32,
+        Seed::new(1),
+    );
     assert_eq!(large.edge_label_bits(), f_large.edge_label_bits());
 }
