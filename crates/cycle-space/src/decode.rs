@@ -1,25 +1,95 @@
 //! Decoding algorithms for the cycle-space scheme (Sections 3.1.2–3.1.3).
 
 use crate::labeling::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
-use ftl_gf2::BitVec;
+use ftl_gf2::{Basis, BitVec, DecodeScratch};
 
-/// Builds the augmented vector `φ′(e)` of Section 3.1.3: two prefix bits
-/// recording whether `e` lies on the root–`s` (but not root–`t`) path,
-/// respectively root–`t` (but not root–`s`), followed by `φ(e)`.
-fn augmented_vector(
-    e: &CycleSpaceEdgeLabel,
-    s: &CycleSpaceVertexLabel,
-    t: &CycleSpaceVertexLabel,
-) -> BitVec {
-    let on_s = e.on_root_path_of(&s.anc);
-    let on_t = e.on_root_path_of(&t.anc);
-    let mut prefix = BitVec::zeros(2);
-    if on_s && !on_t {
-        prefix.set(0, true); // "10" case
-    } else if on_t && !on_s {
-        prefix.set(1, true); // "01" case
+/// A reusable decoder for the cycle-space scheme: owns the elimination
+/// [`Basis`], the augmented-column buffers and the reduction scratch, so a
+/// serving loop that decodes many `⟨s, t, F⟩` queries allocates nothing per
+/// query once the buffers have grown to the workload's shape (`b + 2` bits,
+/// `f` columns).
+///
+/// The one-shot free functions [`decode`] / [`decode_with_certificate`]
+/// construct a fresh decoder per call; long-lived callers (the `ftl-engine`
+/// batch path, benchmark loops) should hold one `CycleSpaceDecoder` instead.
+#[derive(Debug, Default)]
+pub struct CycleSpaceDecoder {
+    basis: Basis,
+    scratch: DecodeScratch,
+    cols: Vec<BitVec>,
+    w: BitVec,
+}
+
+impl CycleSpaceDecoder {
+    /// A decoder with empty scratch buffers (grown on first use).
+    pub fn new() -> Self {
+        CycleSpaceDecoder::default()
     }
-    prefix.concat(&e.phi)
+
+    /// Builds the augmented vector `φ′(e)` of Section 3.1.3 into `out`:
+    /// two prefix bits recording whether `e` lies on the root–`s` (but not
+    /// root–`t`) path, respectively root–`t` (but not root–`s`), followed
+    /// by `φ(e)`.
+    fn augmented_vector_into(
+        e: &CycleSpaceEdgeLabel,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        out: &mut BitVec,
+    ) {
+        let on_s = e.on_root_path_of(&s.anc);
+        let on_t = e.on_root_path_of(&t.anc);
+        out.reset_zeroed(e.phi.len() + 2);
+        if on_s && !on_t {
+            out.set(0, true); // "10" case
+        } else if on_t && !on_s {
+            out.set(1, true); // "01" case
+        }
+        out.or_shifted(&e.phi, 2);
+    }
+
+    /// [`decode_with_certificate`], reusing this decoder's buffers. Only the
+    /// returned certificate allocates.
+    pub fn decode_with_certificate(
+        &mut self,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        faults: &[CycleSpaceEdgeLabel],
+    ) -> Option<Vec<usize>> {
+        if s.anc == t.anc {
+            return None; // s == t: always connected
+        }
+        if faults.is_empty() {
+            return None; // the base graph is connected
+        }
+        let b = faults[0].phi.len();
+        if self.cols.len() < faults.len() {
+            self.cols.resize(faults.len(), BitVec::default());
+        }
+        self.basis.reset(b + 2, faults.len());
+        for (i, e) in faults.iter().enumerate() {
+            Self::augmented_vector_into(e, s, t, &mut self.cols[i]);
+            self.basis.insert_with(&self.cols[i], &mut self.scratch);
+        }
+        for wbit in [0usize, 1] {
+            self.w.reset_zeroed(b + 2);
+            self.w.set(wbit, true);
+            if self.basis.express_with(&self.w, &mut self.scratch) {
+                return Some(self.scratch.combo().ones().collect());
+            }
+        }
+        None
+    }
+
+    /// [`decode`], reusing this decoder's buffers; fully allocation-free
+    /// after warm-up.
+    pub fn decode(
+        &mut self,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        faults: &[CycleSpaceEdgeLabel],
+    ) -> bool {
+        self.decode_with_certificate(s, t, faults).is_none()
+    }
 }
 
 /// Fast decoder (Lemma 3.5): `s` and `t` are disconnected by `F` iff one of
@@ -38,25 +108,7 @@ pub fn decode_with_certificate(
     t: &CycleSpaceVertexLabel,
     faults: &[CycleSpaceEdgeLabel],
 ) -> Option<Vec<usize>> {
-    if s.anc == t.anc {
-        return None; // s == t: always connected
-    }
-    if faults.is_empty() {
-        return None; // the base graph is connected
-    }
-    let b = faults[0].phi.len();
-    let cols: Vec<BitVec> = faults.iter().map(|e| augmented_vector(e, s, t)).collect();
-    let mut basis = ftl_gf2::Basis::new(b + 2, cols.len());
-    basis.insert_all(&cols);
-    let mut w = BitVec::zeros(b + 2);
-    for wbit in [0usize, 1] {
-        w.zero_out();
-        w.set(wbit, true);
-        if let Some(x) = basis.express(&w) {
-            return Some(x.ones().collect());
-        }
-    }
-    None
+    CycleSpaceDecoder::new().decode_with_certificate(s, t, faults)
 }
 
 /// Fast decoder, boolean form: `true` iff `s` and `t` are **connected** in
@@ -205,6 +257,43 @@ mod tests {
         let cert = decode_with_certificate(&s, &t, &flabels).expect("separated");
         // The certificate must consist of e0 and e3 (indices 0 and 1 in F).
         assert_eq!(cert, vec![0, 1]);
+    }
+
+    #[test]
+    fn reused_decoder_matches_one_shot_decode() {
+        // One CycleSpaceDecoder across many queries of different shapes
+        // (varying f and b) must agree with the fresh-per-call functions.
+        let g = generators::grid(3, 4);
+        let mut state = 0x77AAu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut decoder = CycleSpaceDecoder::new();
+        for trial in 0..20 {
+            let scheme =
+                CycleSpaceScheme::label(&g, 1 + trial % 7, Seed::new(trial as u64)).unwrap();
+            let f = 1 + (next() as usize) % 6;
+            let mut faults = Vec::new();
+            while faults.len() < f {
+                let e = EdgeId::new((next() as usize) % g.num_edges());
+                if !faults.contains(&e) {
+                    faults.push(e);
+                }
+            }
+            let flabels: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+            for _ in 0..6 {
+                let s = scheme.vertex_label(VertexId::new((next() as usize) % g.num_vertices()));
+                let t = scheme.vertex_label(VertexId::new((next() as usize) % g.num_vertices()));
+                assert_eq!(
+                    decoder.decode_with_certificate(&s, &t, &flabels),
+                    decode_with_certificate(&s, &t, &flabels),
+                    "trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

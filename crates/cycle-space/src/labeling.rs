@@ -139,6 +139,16 @@ impl CycleSpaceScheme {
         self.b
     }
 
+    /// Number of labeled vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of labeled edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_labels.len()
+    }
+
     /// Maximum DFS time (for bit accounting).
     pub fn max_time(&self) -> u32 {
         self.max_time

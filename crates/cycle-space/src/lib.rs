@@ -43,6 +43,7 @@
 pub mod circulation;
 pub mod decode;
 pub mod labeling;
+pub mod wire;
 
-pub use decode::{decode, decode_brute_force, decode_with_certificate};
+pub use decode::{decode, decode_brute_force, decode_with_certificate, CycleSpaceDecoder};
 pub use labeling::{CycleSpaceEdgeLabel, CycleSpaceScheme, CycleSpaceVertexLabel};

@@ -1,0 +1,50 @@
+//! Property tests: wire round-trip (`encode → decode ≡ original`) for the
+//! cycle-space label types, over arbitrary field values.
+
+use ftl_cycle_space::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
+use ftl_gf2::BitVec;
+use ftl_labels::{AncestryLabel, WireLabel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vertex_label_roundtrip(pre in any::<u32>(), post in any::<u32>()) {
+        let l = CycleSpaceVertexLabel {
+            anc: AncestryLabel { pre, post },
+        };
+        prop_assert_eq!(CycleSpaceVertexLabel::from_wire(&l.to_wire()).unwrap(), l);
+    }
+
+    #[test]
+    fn edge_label_roundtrip(
+        phi in proptest::collection::vec(any::<bool>(), 0..150),
+        anc in proptest::collection::vec(any::<u32>(), 4..5),
+        is_tree in any::<bool>(),
+    ) {
+        let l = CycleSpaceEdgeLabel {
+            phi: BitVec::from_bits(&phi),
+            anc_u: AncestryLabel { pre: anc[0], post: anc[1] },
+            anc_v: AncestryLabel { pre: anc[2], post: anc[3] },
+            is_tree,
+        };
+        let back = CycleSpaceEdgeLabel::from_wire(&l.to_wire()).unwrap();
+        prop_assert_eq!(back, l);
+    }
+
+    /// Single-bit header corruption is always rejected.
+    #[test]
+    fn corrupted_header_rejected(
+        phi in proptest::collection::vec(any::<bool>(), 1..64),
+        bit in 0usize..64,
+    ) {
+        let l = CycleSpaceEdgeLabel {
+            phi: BitVec::from_bits(&phi),
+            anc_u: AncestryLabel { pre: 1, post: 8 },
+            anc_v: AncestryLabel { pre: 2, post: 3 },
+            is_tree: true,
+        };
+        let mut bytes = l.to_wire();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(CycleSpaceEdgeLabel::from_wire(&bytes).is_err());
+    }
+}

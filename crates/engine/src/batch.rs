@@ -1,0 +1,297 @@
+//! Batched fault-set decoding: one GF(2) elimination per fault set, a
+//! cheap parity test per query.
+//!
+//! # The null-space reformulation
+//!
+//! The per-query decoder (Lemma 3.5) eliminates the augmented columns
+//! `φ′(e) = (p_s(e), p_t(e), φ(e))` for every query, because the two prefix
+//! bits depend on `(s, t)`. But only those two bits do — the `φ(e)` part is
+//! query-independent. Rearranging:
+//!
+//! `s, t` are separated iff some `F′ ⊆ F` has `⊕_{e∈F′} φ(e) = 0` and
+//! `|F′ ∩ D(s,t)|` odd, where `D(s,t)` is the set of faults `e` with
+//! `on_s(e) ≠ on_t(e)` (exactly one endpoint of the query below the tree
+//! edge). The subsets with `⊕φ = 0` form the **null space** of the `φ`
+//! columns, and the parity `|F′ ∩ D|` is linear over GF(2) — so it is odd
+//! for *some* null-space element iff it is odd for some **generator**.
+//!
+//! Hence one elimination per fault set produces `f − rank` null-space
+//! generators (collected for free from the dependent inserts of
+//! [`ftl_gf2::Basis::insert_with`]), and every query against that fault set
+//! is `f` ancestry checks plus one AND-popcount per generator —
+//! `O(f²/64)` words instead of a fresh `O(f²·(f+log n)/64)` elimination.
+//! A separating generator is itself the disconnecting cut certificate `F′`.
+
+use ftl_cycle_space::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
+use ftl_gf2::{Basis, BitVec, DecodeScratch};
+use ftl_graph::EdgeId;
+
+/// One connectivity query against a registered fault set.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct ConnQuery {
+    /// Source vertex.
+    pub s: ftl_graph::VertexId,
+    /// Target vertex.
+    pub t: ftl_graph::VertexId,
+    /// Index into the request's fault-set list.
+    pub fault_set: usize,
+}
+
+/// A fault set after its one-time elimination: the decoded edge labels and
+/// the null-space generators of their `φ` columns. Everything queries need;
+/// nothing per-query remains to eliminate.
+#[derive(Debug, Clone)]
+pub struct EliminatedFaultSet {
+    /// Fault edge ids, sorted ascending (the canonical order).
+    edge_ids: Vec<EdgeId>,
+    /// Decoded labels, aligned with `edge_ids`.
+    labels: Vec<CycleSpaceEdgeLabel>,
+    /// Null-space generators over positions in `edge_ids`.
+    null_gens: Vec<BitVec>,
+    /// Rank of the `φ` columns.
+    rank: usize,
+}
+
+impl EliminatedFaultSet {
+    /// Runs the one-time elimination. `labels[i]` must be the label of
+    /// `edge_ids[i]`, with `edge_ids` sorted ascending and distinct.
+    pub fn eliminate(edge_ids: Vec<EdgeId>, labels: Vec<CycleSpaceEdgeLabel>) -> Self {
+        assert_eq!(edge_ids.len(), labels.len(), "ids/labels misaligned");
+        debug_assert!(
+            edge_ids.windows(2).all(|w| w[0] < w[1]),
+            "ids not canonical"
+        );
+        let f = labels.len();
+        let mut null_gens = Vec::new();
+        let mut rank = 0;
+        if f > 0 {
+            let b = labels[0].phi.len();
+            let mut basis = Basis::new(b, f);
+            let mut scratch = DecodeScratch::new();
+            for l in &labels {
+                if basis.insert_with(&l.phi, &mut scratch) {
+                    rank += 1;
+                } else {
+                    null_gens.push(scratch.combo().clone());
+                }
+            }
+        }
+        EliminatedFaultSet {
+            edge_ids,
+            labels,
+            null_gens,
+            rank,
+        }
+    }
+
+    /// Number of faults.
+    pub fn num_faults(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// Rank of the eliminated `φ` columns.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of null-space generators (`num_faults − rank`).
+    pub fn num_null_generators(&self) -> usize {
+        self.null_gens.len()
+    }
+
+    /// The canonical (sorted) fault edge ids.
+    pub fn edge_ids(&self) -> &[EdgeId] {
+        &self.edge_ids
+    }
+
+    /// Approximate resident size in bytes (for cache accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|l| l.phi.len() / 8 + 24)
+            .sum::<usize>()
+            + self.null_gens.len() * (self.edge_ids.len() / 8 + 24)
+            + self.edge_ids.len() * 4
+    }
+
+    /// Answers one query: returns the index of a separating null-space
+    /// generator, or `None` when `s` and `t` stay connected (w.h.p.).
+    ///
+    /// `diff` is caller-owned scratch for the `D(s, t)` membership vector —
+    /// reused across queries, so the test allocates nothing.
+    pub fn separating_generator(
+        &self,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        diff: &mut BitVec,
+    ) -> Option<usize> {
+        if s.anc == t.anc || self.null_gens.is_empty() {
+            return None;
+        }
+        diff.reset_zeroed(self.edge_ids.len());
+        for (i, l) in self.labels.iter().enumerate() {
+            if l.on_root_path_of(&s.anc) != l.on_root_path_of(&t.anc) {
+                diff.set(i, true);
+            }
+        }
+        self.null_gens
+            .iter()
+            .position(|g| g.count_ones_and(diff) % 2 == 1)
+    }
+
+    /// Whether `s` and `t` are connected in `G \ F` (w.h.p.).
+    pub fn is_connected(
+        &self,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        diff: &mut BitVec,
+    ) -> bool {
+        self.separating_generator(s, t, diff).is_none()
+    }
+
+    /// The disconnecting cut `F′` witnessed by generator `gen`, as edge ids.
+    pub fn certificate(&self, gen: usize) -> Vec<EdgeId> {
+        self.null_gens[gen]
+            .ones()
+            .map(|i| self.edge_ids[i])
+            .collect()
+    }
+}
+
+/// The canonical hash of a fault set: order-insensitive (the slice must be
+/// sorted), collision-resistant enough to key the elimination cache.
+pub fn canonical_fault_hash(sorted_ids: &[EdgeId]) -> u64 {
+    // SplitMix64 absorption: mix each id into a running state.
+    let mut h: u64 = 0x243F_6A88_85A3_08D3 ^ (sorted_ids.len() as u64);
+    for &e in sorted_ids {
+        h = ftl_seeded::splitmix64(h ^ e.index() as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_cycle_space::CycleSpaceScheme;
+    use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
+    use ftl_graph::{generators, Graph, VertexId};
+    use ftl_seeded::Seed;
+
+    fn eliminate_for(scheme: &CycleSpaceScheme, faults: &[EdgeId]) -> EliminatedFaultSet {
+        let mut ids = faults.to_vec();
+        ids.sort();
+        ids.dedup();
+        let labels = ids.iter().map(|&e| scheme.edge_label(e)).collect();
+        EliminatedFaultSet::eliminate(ids, labels)
+    }
+
+    /// The batched parity decoder must agree with the per-query eliminator
+    /// on every pair, and its certificates must be genuine cuts.
+    fn check_all_pairs(g: &Graph, faults: &[EdgeId], seed: u64) {
+        let scheme = CycleSpaceScheme::label(g, faults.len(), Seed::new(seed)).unwrap();
+        let efs = eliminate_for(&scheme, faults);
+        let flabels: Vec<_> = faults.iter().map(|&e| scheme.edge_label(e)).collect();
+        let mask = forbidden_mask(g, faults);
+        let mut diff = BitVec::zeros(0);
+        for a in 0..g.num_vertices() {
+            for b in 0..g.num_vertices() {
+                let (s, t) = (VertexId::new(a), VertexId::new(b));
+                let sl = scheme.vertex_label(s);
+                let tl = scheme.vertex_label(t);
+                let truth = connected_avoiding(g, s, t, &mask);
+                let eager = ftl_cycle_space::decode(&sl, &tl, &flabels);
+                let batched = efs.is_connected(&sl, &tl, &mut diff);
+                assert_eq!(batched, eager, "pair ({a},{b}) vs eager, faults {faults:?}");
+                assert_eq!(batched, truth, "pair ({a},{b}) vs truth, faults {faults:?}");
+                if let Some(gen) = efs.separating_generator(&sl, &tl, &mut diff) {
+                    // The certificate must be a real separating cut: remove
+                    // it from the graph and s, t must be disconnected.
+                    let cut = efs.certificate(gen);
+                    let cut_mask = forbidden_mask(g, &cut);
+                    assert!(
+                        !connected_avoiding(g, s, t, &cut_mask),
+                        "certificate {cut:?} does not separate ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_single_faults() {
+        let g = generators::path(6);
+        for e in 0..g.num_edges() {
+            check_all_pairs(&g, &[EdgeId::new(e)], 400 + e as u64);
+        }
+    }
+
+    #[test]
+    fn cycle_graph_fault_pairs() {
+        let g = generators::cycle(6);
+        for e1 in 0..6 {
+            for e2 in (e1 + 1)..6 {
+                check_all_pairs(&g, &[EdgeId::new(e1), EdgeId::new(e2)], 41);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_random_fault_sets() {
+        let g = generators::grid(3, 4);
+        let mut state = 0xE1E1u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let f = 1 + (next() as usize) % 6;
+            let mut faults = Vec::new();
+            while faults.len() < f {
+                let e = EdgeId::new((next() as usize) % g.num_edges());
+                if !faults.contains(&e) {
+                    faults.push(e);
+                }
+            }
+            check_all_pairs(&g, &faults, 9000 + trial);
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_always_connected() {
+        let g = generators::grid(2, 3);
+        let scheme = CycleSpaceScheme::label(&g, 0, Seed::new(2)).unwrap();
+        let efs = EliminatedFaultSet::eliminate(vec![], vec![]);
+        let mut diff = BitVec::zeros(0);
+        assert_eq!(efs.num_null_generators(), 0);
+        assert!(efs.is_connected(
+            &scheme.vertex_label(VertexId::new(0)),
+            &scheme.vertex_label(VertexId::new(5)),
+            &mut diff,
+        ));
+    }
+
+    #[test]
+    fn rank_and_generator_counts_add_up() {
+        let g = generators::cycle(8);
+        let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(5)).unwrap();
+        let faults: Vec<EdgeId> = (0..4).map(EdgeId::new).collect();
+        let efs = eliminate_for(&scheme, &faults);
+        assert_eq!(efs.num_faults(), 4);
+        assert_eq!(efs.rank() + efs.num_null_generators(), 4);
+        assert!(efs.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn canonical_hash_is_order_stable_and_discriminating() {
+        let a = [EdgeId::new(1), EdgeId::new(5), EdgeId::new(9)];
+        let b = [EdgeId::new(1), EdgeId::new(5), EdgeId::new(9)];
+        let c = [EdgeId::new(1), EdgeId::new(5), EdgeId::new(10)];
+        let d = [EdgeId::new(1), EdgeId::new(5)];
+        assert_eq!(canonical_fault_hash(&a), canonical_fault_hash(&b));
+        assert_ne!(canonical_fault_hash(&a), canonical_fault_hash(&c));
+        assert_ne!(canonical_fault_hash(&a), canonical_fault_hash(&d));
+        assert_ne!(canonical_fault_hash(&[]), canonical_fault_hash(&d));
+    }
+}

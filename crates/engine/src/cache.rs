@@ -1,0 +1,242 @@
+//! A compact LRU cache for eliminated fault-set bases.
+//!
+//! Keys are 64-bit canonical fault-set hashes; values are whatever the
+//! caller caches (the engine stores `Arc<EliminatedFaultSet>`). Entries
+//! live in a `Vec`-backed intrusive doubly-linked list — no per-entry
+//! allocation, O(1) hit/insert/evict — and the cache tracks hit/miss
+//! counters for the engine's batch statistics.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from `u64` keys to `V`.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node<V>>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found their key.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that did not.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Fetches `key`, marking it most-recently used.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        match self.map.get(&key).copied() {
+            None => {
+                self.misses += 1;
+                None
+            }
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.nodes[i].value)
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// if the cache is full. The new entry is most-recently used.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let slot = if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.nodes[victim].key = key;
+            self.nodes[victim].value = value;
+            victim
+        } else {
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys from most- to least-recently used, by walking the list.
+    fn order<V>(c: &LruCache<V>) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut i = c.head;
+        while i != NIL {
+            out.push(c.nodes[i].key);
+            i = c.nodes[i].next;
+        }
+        out
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        assert_eq!(order(&c), vec![3, 2, 1]);
+        // Touch 1: now 2 is the LRU.
+        assert_eq!(c.get(1), Some(&"a"));
+        c.insert(4, "d");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), None, "2 must have been evicted");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), Some(&"c"));
+        assert_eq!(c.get(4), Some(&"d"));
+    }
+
+    #[test]
+    fn replace_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(order(&c), vec![1, 2]);
+        assert_eq!(c.get(1), Some(&11));
+        c.insert(3, 30);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get(9), None);
+        c.insert(9, ());
+        assert!(c.get(9).is_some());
+        assert!(c.get(9).is_some());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 1);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache() {
+        let mut c = LruCache::new(1);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(&"b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.insert(i % 13, i);
+            let _ = c.get((i * 7) % 13);
+            assert!(c.len() <= 8);
+        }
+        // Every cached key must resolve to the latest value written to it.
+        let keys = order(&c);
+        assert_eq!(keys.len(), c.len());
+        for &k in &keys {
+            let v = *c.get(k).unwrap();
+            assert_eq!(v % 13, k);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The query engine: store → batcher → decoder → cache.
+//!
+//! An [`Engine`] owns a frozen [`LabelStore`] of wire-encoded cycle-space
+//! labels and serves [`BatchRequest`]s: connectivity queries grouped by
+//! fault set. Each distinct fault set is eliminated **once** (or fetched
+//! from the LRU cache of eliminated bases, keyed by the canonical
+//! fault-set hash); each query then costs ancestry checks plus a parity
+//! test — see [`crate::batch`] for the math.
+//!
+//! The naive serving path — a fresh elimination per query — is kept as
+//! [`Engine::execute_naive`], both as the differential-testing oracle and
+//! as the benchmark baseline.
+
+use crate::batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
+use crate::cache::LruCache;
+use crate::store::{LabelStore, LabelStoreBuilder, StoreError};
+use ftl_cycle_space::{
+    CycleSpaceDecoder, CycleSpaceEdgeLabel, CycleSpaceScheme, CycleSpaceVertexLabel,
+};
+use ftl_gf2::BitVec;
+use ftl_graph::{EdgeId, VertexId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine tuning knobs.
+#[derive(Debug, Copy, Clone)]
+pub struct EngineConfig {
+    /// Store shard count.
+    pub num_shards: usize,
+    /// Capacity of the eliminated-basis LRU cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Whether disconnected results carry the cut certificate `F′`
+    /// (costs one small allocation per disconnected query).
+    pub collect_certificates: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_shards: 16,
+            cache_capacity: 64,
+            collect_certificates: false,
+        }
+    }
+}
+
+/// Why a batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query named a fault set index outside the request.
+    UnknownFaultSet {
+        /// The offending index.
+        index: usize,
+        /// How many fault sets the request carried.
+        available: usize,
+    },
+    /// A label was missing from the store or failed to decode.
+    Store(StoreError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownFaultSet { index, available } => {
+                write!(f, "query names fault set {index}, request has {available}")
+            }
+            EngineError::Store(e) => write!(f, "label store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+/// A batch of connectivity queries, grouped by shared fault sets.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRequest {
+    /// The distinct fault sets of this batch (order and duplicates within a
+    /// set are tolerated; sets are canonicalised internally).
+    pub fault_sets: Vec<Vec<EdgeId>>,
+    /// The queries, each naming its fault set by index.
+    pub queries: Vec<ConnQuery>,
+}
+
+/// One query's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Whether `s` and `t` are connected in `G \ F` (w.h.p.).
+    pub connected: bool,
+    /// When disconnected and certificates are enabled: the disconnecting
+    /// induced cut `F′ ⊆ F`, as edge ids.
+    pub certificate: Option<Vec<EdgeId>>,
+}
+
+/// What one [`Engine::execute`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Distinct fault sets in the request.
+    pub fault_sets: usize,
+    /// Eliminations actually run (fault sets that missed the cache).
+    pub eliminations: usize,
+    /// Fault sets served from the cache.
+    pub cache_hits: usize,
+}
+
+/// A batch response: per-query results in request order, plus statistics.
+#[derive(Debug, Clone)]
+pub struct BatchResponse {
+    /// `results[i]` answers `queries[i]`.
+    pub results: Vec<QueryResult>,
+    /// Batch statistics.
+    pub stats: BatchStats,
+}
+
+/// The sharded, batch-decoding label-query engine.
+pub struct Engine {
+    config: EngineConfig,
+    store: LabelStore,
+    cache: LruCache<Arc<EliminatedFaultSet>>,
+    /// Scratch for the per-query `D(s, t)` vector.
+    diff: BitVec,
+    /// Scratch for canonicalising fault sets.
+    ids_scratch: Vec<EdgeId>,
+    /// Reusable per-query eliminator for the naive baseline path.
+    naive: CycleSpaceDecoder,
+}
+
+impl Engine {
+    /// Builds an engine over an already-frozen store.
+    pub fn new(store: LabelStore, config: EngineConfig) -> Self {
+        Engine {
+            config,
+            store,
+            cache: LruCache::new(config.cache_capacity),
+            diff: BitVec::zeros(0),
+            ids_scratch: Vec::new(),
+            naive: CycleSpaceDecoder::new(),
+        }
+    }
+
+    /// Encodes every label of a cycle-space scheme to the wire format and
+    /// loads the frozen store — the usual way to stand an engine up.
+    pub fn from_cycle_space(scheme: &CycleSpaceScheme, config: EngineConfig) -> Self {
+        let mut builder = LabelStoreBuilder::new(config.num_shards);
+        for i in 0..scheme.num_vertices() {
+            let v = VertexId::new(i);
+            builder.put_vertex_label(v, &scheme.vertex_label(v));
+        }
+        for i in 0..scheme.num_edges() {
+            let e = EdgeId::new(i);
+            builder.put_edge_label(e, &scheme.edge_label(e));
+        }
+        Engine::new(builder.freeze(), config)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Cumulative cache hits since construction.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cumulative cache misses since construction.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Resolves one fault set to its eliminated basis: canonicalise, probe
+    /// the cache, eliminate on miss.
+    fn resolve_fault_set(
+        &mut self,
+        faults: &[EdgeId],
+        stats: &mut BatchStats,
+    ) -> Result<Arc<EliminatedFaultSet>, EngineError> {
+        self.ids_scratch.clear();
+        self.ids_scratch.extend_from_slice(faults);
+        self.ids_scratch.sort();
+        self.ids_scratch.dedup();
+        let hash = canonical_fault_hash(&self.ids_scratch);
+        if let Some(efs) = self.cache.get(hash) {
+            // Guard against 64-bit hash collisions between distinct fault
+            // sets: a hit only counts if the canonical ids really match.
+            // On a collision the sets simply keep re-eliminating (correct,
+            // just slower) as the cache slot ping-pongs.
+            if efs.edge_ids() == self.ids_scratch.as_slice() {
+                stats.cache_hits += 1;
+                return Ok(Arc::clone(efs));
+            }
+        }
+        let ids = self.ids_scratch.clone();
+        let labels: Vec<CycleSpaceEdgeLabel> = ids
+            .iter()
+            .map(|&e| self.store.edge_label(e))
+            .collect::<Result<_, _>>()?;
+        let efs = Arc::new(EliminatedFaultSet::eliminate(ids, labels));
+        stats.eliminations += 1;
+        self.cache.insert(hash, Arc::clone(&efs));
+        Ok(efs)
+    }
+
+    /// Serves a batch: one elimination (or cache hit) per distinct fault
+    /// set, a parity test per query. Results come back in request order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a query names a fault set the request does not carry, or if
+    /// a referenced label is missing from the store / fails to decode.
+    pub fn execute(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        let mut stats = BatchStats {
+            queries: req.queries.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        let resolved: Vec<Arc<EliminatedFaultSet>> = req
+            .fault_sets
+            .iter()
+            .map(|fs| self.resolve_fault_set(fs, &mut stats))
+            .collect::<Result<_, _>>()?;
+        let mut results = Vec::with_capacity(req.queries.len());
+        for q in &req.queries {
+            let efs = resolved
+                .get(q.fault_set)
+                .ok_or(EngineError::UnknownFaultSet {
+                    index: q.fault_set,
+                    available: resolved.len(),
+                })?;
+            let sl: CycleSpaceVertexLabel = self.store.vertex_label(q.s)?;
+            let tl: CycleSpaceVertexLabel = self.store.vertex_label(q.t)?;
+            let gen = efs.separating_generator(&sl, &tl, &mut self.diff);
+            results.push(QueryResult {
+                connected: gen.is_none(),
+                certificate: match gen {
+                    Some(g) if self.config.collect_certificates => Some(efs.certificate(g)),
+                    _ => None,
+                },
+            });
+        }
+        Ok(BatchResponse { results, stats })
+    }
+
+    /// The naive serving path: labels are still fetched per fault set, but
+    /// every query pays a **fresh elimination** of the augmented system
+    /// (the pre-engine `ftl_cycle_space::decode` formulation). Baseline for
+    /// the batched path; also its differential oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::execute`].
+    pub fn execute_naive(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        let mut stats = BatchStats {
+            queries: req.queries.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        let labels_per_set: Vec<Vec<CycleSpaceEdgeLabel>> = req
+            .fault_sets
+            .iter()
+            .map(|fs| {
+                fs.iter()
+                    .map(|&e| self.store.edge_label(e))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let mut results = Vec::with_capacity(req.queries.len());
+        for q in &req.queries {
+            let labels = labels_per_set
+                .get(q.fault_set)
+                .ok_or(EngineError::UnknownFaultSet {
+                    index: q.fault_set,
+                    available: labels_per_set.len(),
+                })?;
+            let sl: CycleSpaceVertexLabel = self.store.vertex_label(q.s)?;
+            let tl: CycleSpaceVertexLabel = self.store.vertex_label(q.t)?;
+            stats.eliminations += 1;
+            let cert = self.naive.decode_with_certificate(&sl, &tl, labels);
+            results.push(QueryResult {
+                connected: cert.is_none(),
+                certificate: match cert {
+                    Some(idx) if self.config.collect_certificates => Some(
+                        idx.into_iter()
+                            .map(|i| req.fault_sets[q.fault_set][i])
+                            .collect(),
+                    ),
+                    _ => None,
+                },
+            });
+        }
+        Ok(BatchResponse { results, stats })
+    }
+}

@@ -1,0 +1,41 @@
+//! `ftl-engine` — the sharded, batch-decoding label-query engine.
+//!
+//! The labeling schemes of this workspace build compact labels; this crate
+//! *serves* them. The pipeline is **store → batcher → decoder → cache**:
+//!
+//! * [`store`] — labels live wire-encoded ([`ftl_labels::wire`]) in a
+//!   hash-sharded, frozen [`LabelStore`]; reads are pure `&self` lookups,
+//!   so any number of query threads can share the store lock-free.
+//! * [`batch`] — queries arrive grouped by fault set ([`BatchRequest`]).
+//!   Each distinct fault set pays **one** GF(2) elimination, which yields
+//!   the null-space generators of its `φ` columns; every query is then a
+//!   handful of ancestry checks plus one AND-popcount parity test per
+//!   generator ([`EliminatedFaultSet`]).
+//! * [`cache`] — eliminated bases are kept in an [`LruCache`] keyed by the
+//!   canonical fault-set hash, so recurring fault sets (the common case:
+//!   faults change rarely, queries arrive constantly) skip elimination
+//!   entirely.
+//! * [`scenario`] — workload drivers (uniform faults, targeted high-degree
+//!   attacks, multi-round churn) that push traffic through an [`Engine`]
+//!   and report throughput, per-query latency, reachability, and routed
+//!   stretch.
+//!
+//! The naive pre-engine serving path — a fresh elimination per query — is
+//! preserved as [`Engine::execute_naive`] for differential testing and
+//! benchmarking.
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod scenario;
+pub mod store;
+
+pub use batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
+pub use cache::LruCache;
+pub use engine::{
+    BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig, EngineError, QueryResult,
+};
+pub use scenario::{
+    run_scenario, FaultModel, RoundReport, ScenarioConfig, ScenarioReport, StretchStats,
+};
+pub use store::{LabelStore, LabelStoreBuilder, Namespace, StoreError, StoreKey};

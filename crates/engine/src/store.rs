@@ -1,0 +1,313 @@
+//! The sharded label store: wire-encoded labels held off-struct, hash-
+//! sharded by id, with a lock-free read path.
+//!
+//! The store follows a build-then-freeze lifecycle: a
+//! [`LabelStoreBuilder`] routes encoded records to shards (any thread
+//! layout — the builder is plain owned data), and [`freeze`] seals them
+//! into an immutable [`LabelStore`]. After the freeze every read is a pure
+//! `&self` lookup into that shard's index — no locks, no atomics, so
+//! arbitrarily many query threads can share one store behind an `Arc`.
+//!
+//! Records live in one contiguous byte arena per shard (id → offset range),
+//! keeping the resident footprint at the wire-format size rather than the
+//! in-memory struct size.
+//!
+//! [`freeze`]: LabelStoreBuilder::freeze
+
+use ftl_graph::{EdgeId, VertexId};
+use ftl_labels::wire::{WireError, WireLabel};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which id space a record belongs to.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Namespace {
+    /// Vertex labels, keyed by vertex id.
+    Vertex,
+    /// Edge labels, keyed by edge id.
+    Edge,
+}
+
+/// A store key: namespace plus 32-bit id.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// The id space.
+    pub ns: Namespace,
+    /// The id within it.
+    pub id: u32,
+}
+
+impl StoreKey {
+    /// The key of a vertex record.
+    pub fn vertex(v: VertexId) -> Self {
+        StoreKey {
+            ns: Namespace::Vertex,
+            id: v.raw(),
+        }
+    }
+
+    /// The key of an edge record.
+    pub fn edge(e: EdgeId) -> Self {
+        StoreKey {
+            ns: Namespace::Edge,
+            id: e.index() as u32,
+        }
+    }
+
+    /// SplitMix64 finalizer over the packed key — the shard router.
+    fn hash(self) -> u64 {
+        let ns_bit = match self.ns {
+            Namespace::Vertex => 0u64,
+            Namespace::Edge => 1u64 << 32,
+        };
+        ftl_seeded::splitmix64(self.id as u64 | ns_bit)
+    }
+}
+
+/// Why a typed store read failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No record under that key.
+    Missing(StoreKey),
+    /// The stored bytes failed wire decoding.
+    Wire(WireError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Missing(k) => write!(f, "no record for {k:?}"),
+            StoreError::Wire(e) => write!(f, "stored record corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        StoreError::Wire(e)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Key → byte range into `bytes`.
+    index: HashMap<StoreKey, (u32, u32)>,
+    /// All records of this shard, back to back.
+    bytes: Vec<u8>,
+}
+
+impl Shard {
+    fn put(&mut self, key: StoreKey, record: &[u8]) {
+        // Offsets are u32 to keep the index small; fail loudly rather than
+        // wrap once a shard's arena outgrows that (add shards instead).
+        // The *end* offset must fit too, or the record would be stored but
+        // unreadable.
+        let start = u32::try_from(self.bytes.len())
+            .ok()
+            .filter(|_| u32::try_from(self.bytes.len() + record.len()).is_ok())
+            .expect("shard arena exceeds u32 offsets; raise num_shards");
+        self.bytes.extend_from_slice(record);
+        self.index.insert(key, (start, record.len() as u32));
+    }
+
+    fn get(&self, key: StoreKey) -> Option<&[u8]> {
+        let &(start, len) = self.index.get(&key)?;
+        Some(&self.bytes[start as usize..start as usize + len as usize])
+    }
+}
+
+/// Mutable staging area for a [`LabelStore`].
+#[derive(Debug)]
+pub struct LabelStoreBuilder {
+    shards: Vec<Shard>,
+}
+
+impl LabelStoreBuilder {
+    /// A builder with `num_shards` shards (minimum 1).
+    pub fn new(num_shards: usize) -> Self {
+        let n = num_shards.max(1);
+        LabelStoreBuilder {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: StoreKey) -> usize {
+        (key.hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Stores raw wire bytes under a key (overwrites an earlier record for
+    /// the same key; its bytes are retained in the arena but unreachable).
+    pub fn put_bytes(&mut self, key: StoreKey, record: &[u8]) {
+        let s = self.shard_of(key);
+        self.shards[s].put(key, record);
+    }
+
+    /// Encodes and stores a vertex label.
+    pub fn put_vertex_label<L: WireLabel>(&mut self, v: VertexId, label: &L) {
+        self.put_bytes(StoreKey::vertex(v), &label.to_wire());
+    }
+
+    /// Encodes and stores an edge label.
+    pub fn put_edge_label<L: WireLabel>(&mut self, e: EdgeId, label: &L) {
+        self.put_bytes(StoreKey::edge(e), &label.to_wire());
+    }
+
+    /// Seals the shards into an immutable, lock-free-readable store.
+    pub fn freeze(self) -> LabelStore {
+        LabelStore {
+            shards: self.shards.into_boxed_slice(),
+        }
+    }
+}
+
+/// The frozen, shareable label store. See the module docs for the
+/// concurrency story.
+#[derive(Debug)]
+pub struct LabelStore {
+    shards: Box<[Shard]>,
+}
+
+impl LabelStore {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of stored records.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total wire bytes held across shards.
+    pub fn bytes_total(&self) -> usize {
+        self.shards.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Number of records in shard `i` (for balance diagnostics).
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].index.len()
+    }
+
+    /// The raw wire bytes stored under `key`, if any.
+    pub fn get_bytes(&self, key: StoreKey) -> Option<&[u8]> {
+        let s = (key.hash() % self.shards.len() as u64) as usize;
+        self.shards[s].get(key)
+    }
+
+    /// Decodes the record under `key` as an `L`.
+    pub fn get_label<L: WireLabel>(&self, key: StoreKey) -> Result<L, StoreError> {
+        let bytes = self.get_bytes(key).ok_or(StoreError::Missing(key))?;
+        Ok(L::from_wire(bytes)?)
+    }
+
+    /// Decodes the vertex record of `v` as an `L`.
+    pub fn vertex_label<L: WireLabel>(&self, v: VertexId) -> Result<L, StoreError> {
+        self.get_label(StoreKey::vertex(v))
+    }
+
+    /// Decodes the edge record of `e` as an `L`.
+    pub fn edge_label<L: WireLabel>(&self, e: EdgeId) -> Result<L, StoreError> {
+        self.get_label(StoreKey::edge(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_labels::AncestryLabel;
+
+    fn anc(pre: u32, post: u32) -> AncestryLabel {
+        AncestryLabel { pre, post }
+    }
+
+    #[test]
+    fn put_freeze_get_roundtrip() {
+        let mut b = LabelStoreBuilder::new(4);
+        for i in 0..50u32 {
+            b.put_vertex_label(VertexId::new(i as usize), &anc(i, i + 1));
+            b.put_edge_label(EdgeId::new(i as usize), &anc(1000 + i, 1000 + i + 1));
+        }
+        let store = b.freeze();
+        assert_eq!(store.len(), 100);
+        assert!(!store.is_empty());
+        assert!(store.bytes_total() >= 100 * 16);
+        for i in 0..50u32 {
+            let v: AncestryLabel = store.vertex_label(VertexId::new(i as usize)).unwrap();
+            assert_eq!(v, anc(i, i + 1));
+            let e: AncestryLabel = store.edge_label(EdgeId::new(i as usize)).unwrap();
+            assert_eq!(e, anc(1000 + i, 1000 + i + 1));
+        }
+    }
+
+    #[test]
+    fn vertex_and_edge_namespaces_are_disjoint() {
+        let mut b = LabelStoreBuilder::new(2);
+        b.put_vertex_label(VertexId::new(7), &anc(1, 2));
+        let store = b.freeze();
+        assert!(store
+            .vertex_label::<AncestryLabel>(VertexId::new(7))
+            .is_ok());
+        assert_eq!(
+            store.edge_label::<AncestryLabel>(EdgeId::new(7)),
+            Err(StoreError::Missing(StoreKey::edge(EdgeId::new(7))))
+        );
+    }
+
+    #[test]
+    fn overwrite_takes_effect() {
+        let mut b = LabelStoreBuilder::new(1);
+        b.put_vertex_label(VertexId::new(0), &anc(1, 1));
+        b.put_vertex_label(VertexId::new(0), &anc(9, 9));
+        let store = b.freeze();
+        assert_eq!(
+            store
+                .vertex_label::<AncestryLabel>(VertexId::new(0))
+                .unwrap(),
+            anc(9, 9)
+        );
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let mut b = LabelStoreBuilder::new(8);
+        for i in 0..800 {
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32));
+        }
+        let store = b.freeze();
+        assert_eq!(store.num_shards(), 8);
+        for s in 0..8 {
+            let len = store.shard_len(s);
+            assert!((40..=160).contains(&len), "shard {s} holds {len} of 800");
+        }
+    }
+
+    #[test]
+    fn corrupt_stored_bytes_surface_as_wire_error() {
+        let mut b = LabelStoreBuilder::new(1);
+        let mut bytes = anc(3, 4).to_wire();
+        bytes[0] ^= 0xFF;
+        b.put_bytes(StoreKey::vertex(VertexId::new(0)), &bytes);
+        let store = b.freeze();
+        assert!(matches!(
+            store.vertex_label::<AncestryLabel>(VertexId::new(0)),
+            Err(StoreError::Wire(WireError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn zero_shards_clamped_to_one() {
+        let mut b = LabelStoreBuilder::new(0);
+        b.put_vertex_label(VertexId::new(0), &anc(0, 0));
+        let store = b.freeze();
+        assert_eq!(store.num_shards(), 1);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -39,7 +39,7 @@ pub(crate) fn xor_words(dst: &mut [u64], src: &[u64]) {
 ///
 /// All label material in the reproduction (cycle-space labels φ(e), sketch
 /// cells, augmented vectors φ′(e)) is carried as `BitVec`s.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
@@ -224,6 +224,62 @@ impl BitVec {
     /// Clears every bit, keeping the length.
     pub fn zero_out(&mut self) {
         self.words.fill(0);
+    }
+
+    /// Turns `self` into the all-zero vector of `len` bits, reusing the
+    /// existing word allocation — the arena-friendly replacement for
+    /// `*self = BitVec::zeros(len)` on decode hot paths.
+    pub fn reset_zeroed(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+    }
+
+    /// Number of positions set in both `self` and `other`
+    /// (`popcount(self & other)`), without materialising the AND.
+    ///
+    /// The batched decoder's parity test is `count_ones_and(..) % 2`, one
+    /// AND+popcnt per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn count_ones_and(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in and-popcount");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// ORs `src` into `self` starting at bit `offset` (the allocation-free
+    /// sibling of [`BitVec::concat`] for building augmented vectors in a
+    /// reused buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn or_shifted(&mut self, src: &BitVec, offset: usize) {
+        assert!(
+            offset + src.len() <= self.len,
+            "or_shifted out of range: {} + {} > {}",
+            offset,
+            src.len(),
+            self.len
+        );
+        let base = offset / WORD_BITS;
+        let shift = offset % WORD_BITS;
+        for (i, &w) in src.words.iter().enumerate() {
+            if shift == 0 {
+                self.words[base + i] |= w;
+            } else {
+                self.words[base + i] |= w << shift;
+                if base + i + 1 < self.words.len() {
+                    self.words[base + i + 1] |= w >> (WORD_BITS - shift);
+                }
+            }
+        }
     }
 
     /// XORs a raw word slice (of exactly the backing width) into `self`.
@@ -503,6 +559,16 @@ impl BitMatrix {
     pub fn is_zero(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
     }
+
+    /// Empties the matrix and re-shapes it to `cols`-bit rows, keeping the
+    /// word allocation — so a [`crate::Basis`] can be reused across decodes
+    /// without reallocating its row banks.
+    pub fn reset(&mut self, cols: usize) {
+        self.cols = cols;
+        self.wpr = cols.div_ceil(WORD_BITS);
+        self.rows = 0;
+        self.words.clear();
+    }
 }
 
 impl fmt::Debug for BitMatrix {
@@ -747,6 +813,71 @@ mod tests {
         assert!(!a.get(0, 64));
         assert!(a.get(1, 7));
         assert!(a.get(2, 1));
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_and_resizes() {
+        let mut v = BitVec::from_bits(&[true, true, true]);
+        v.reset_zeroed(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        v.set(129, true);
+        v.reset_zeroed(2);
+        assert_eq!(v.len(), 2);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn count_ones_and_matches_materialised_and() {
+        let mut state = 0xC0DE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 64, 65, 200] {
+            let mut a = BitVec::zeros(len);
+            a.randomize(&mut next);
+            let mut b = BitVec::zeros(len);
+            b.randomize(&mut next);
+            let direct = (0..len).filter(|&i| a.get(i) && b.get(i)).count();
+            assert_eq!(a.count_ones_and(&b), direct, "len {len}");
+        }
+    }
+
+    #[test]
+    fn or_shifted_matches_concat() {
+        let mut state = 0xBEEF_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (prefix_len, src_len) in [(0usize, 5usize), (2, 64), (63, 65), (64, 10), (7, 130)] {
+            let mut prefix = BitVec::zeros(prefix_len);
+            prefix.randomize(&mut next);
+            let mut src = BitVec::zeros(src_len);
+            src.randomize(&mut next);
+            let expected = prefix.concat(&src);
+            let mut out = BitVec::zeros(prefix_len + src_len);
+            out.or_shifted(&prefix, 0);
+            out.or_shifted(&src, prefix_len);
+            assert_eq!(out, expected, "prefix {prefix_len} src {src_len}");
+        }
+    }
+
+    #[test]
+    fn matrix_reset_reshapes_in_place() {
+        let mut m = BitMatrix::with_rows(3, 65);
+        m.set(2, 64, true);
+        m.reset(10);
+        assert_eq!(m.num_rows(), 0);
+        assert_eq!(m.num_cols(), 10);
+        let r = m.push_row(&BitVec::from_bits(&[true; 10]));
+        assert_eq!(r, 0);
+        assert_eq!(m.row_to_bitvec(0).count_ones(), 10);
     }
 
     #[test]

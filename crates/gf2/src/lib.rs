@@ -29,4 +29,4 @@ pub mod reference;
 pub mod solve;
 
 pub use bitvec::{BitMatrix, BitVec};
-pub use solve::{solve, solve_brute_force, Basis};
+pub use solve::{solve, solve_brute_force, Basis, DecodeScratch};

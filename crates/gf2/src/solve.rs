@@ -16,6 +16,37 @@
 
 use crate::bitvec::{BitMatrix, BitVec};
 
+/// Reusable scratch space for basis insertions and reductions.
+///
+/// A decoder that answers many queries keeps one `DecodeScratch` alive and
+/// threads it through [`Basis::insert_with`] / [`Basis::express_with`]; after
+/// warm-up no call allocates. The scratch also doubles as the certificate
+/// carrier: after a *dependent* `insert_with` (returned `false`) or a
+/// *successful* `express_with` (returned `true`), [`DecodeScratch::combo`]
+/// holds the witnessing combination over insertion indices.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    work: BitVec,
+    combo: BitVec,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// The combination certificate left by the last reduction:
+    ///
+    /// * after `insert_with(v) == false` — the **null-space** witness: the
+    ///   subset of inserted vectors (including `v` itself) whose XOR is zero;
+    /// * after `express_with(target) == true` — the subset of inserted
+    ///   vectors whose XOR equals `target`.
+    pub fn combo(&self) -> &BitVec {
+        &self.combo
+    }
+}
+
 /// An incremental GF(2) basis over vectors of a fixed dimension.
 ///
 /// Every stored basis vector is paired with a *combination*: the subset of
@@ -39,6 +70,13 @@ pub struct Basis {
     capacity: usize,
 }
 
+impl Default for Basis {
+    /// A zero-dimensional basis; [`Basis::reset`] re-shapes it for real use.
+    fn default() -> Self {
+        Basis::new(0, 0)
+    }
+}
+
 impl Basis {
     /// Creates an empty basis for vectors with `dim` bits, able to absorb up
     /// to `capacity` insertions.
@@ -54,6 +92,20 @@ impl Basis {
             combos: BitMatrix::with_capacity(max_rank, capacity),
             capacity,
         }
+    }
+
+    /// Empties the basis and re-shapes it for `dim`-bit vectors and up to
+    /// `capacity` insertions, keeping every allocation (pivot index, row
+    /// banks). The arena-reuse path for decoders that eliminate one system
+    /// per fault set.
+    pub fn reset(&mut self, dim: usize, capacity: usize) {
+        self.dim = dim;
+        self.capacity = capacity;
+        self.num_inserted = 0;
+        self.pivot_rows.clear();
+        self.pivot_rows.resize(dim, None);
+        self.vecs.reset(dim);
+        self.combos.reset(capacity);
     }
 
     /// Current rank.
@@ -95,6 +147,37 @@ impl Basis {
             .iter()
             .map(|v| self.insert_reusing(v, &mut work, &mut combo))
             .collect()
+    }
+
+    /// [`Basis::insert`] with caller-owned scratch: allocation-free once the
+    /// scratch buffers have grown to this basis' shape.
+    ///
+    /// When the vector is **dependent** (`false` is returned),
+    /// `scratch.combo()` holds the null-space witness: the subset of inserted
+    /// vectors — this one included — whose XOR is zero. A batch decoder
+    /// collects those witnesses to answer arbitrarily many targets from one
+    /// elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has the wrong dimension or capacity is exceeded.
+    pub fn insert_with(&mut self, v: &BitVec, scratch: &mut DecodeScratch) -> bool {
+        scratch.combo.reset_zeroed(self.capacity);
+        self.insert_reusing(v, &mut scratch.work, &mut scratch.combo)
+    }
+
+    /// [`Basis::express`] with caller-owned scratch: returns whether `target`
+    /// lies in the span; on `true`, `scratch.combo()` holds the certificate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` has the wrong dimension.
+    pub fn express_with(&self, target: &BitVec, scratch: &mut DecodeScratch) -> bool {
+        assert_eq!(target.len(), self.dim, "dimension mismatch");
+        scratch.work.copy_from(target);
+        scratch.combo.reset_zeroed(self.capacity);
+        self.reduce_in_place(&mut scratch.work, &mut scratch.combo)
+            .is_none()
     }
 
     fn insert_reusing(&mut self, v: &BitVec, work: &mut BitVec, combo: &mut BitVec) -> bool {
@@ -327,6 +410,74 @@ mod tests {
                 }
                 assert_eq!(acc, tgt, "certificate must reproduce the target");
             }
+        }
+    }
+
+    #[test]
+    fn insert_with_collects_null_space_witnesses() {
+        let block = vec![
+            bv(&[1, 1, 0, 0]),
+            bv(&[0, 1, 1, 0]),
+            bv(&[1, 0, 1, 0]), // = block[0] ^ block[1]
+            bv(&[0, 0, 1, 1]),
+            bv(&[1, 1, 1, 1]), // = block[0] ^ block[3]
+        ];
+        let mut basis = Basis::new(4, block.len());
+        let mut scratch = DecodeScratch::new();
+        let mut nulls = Vec::new();
+        for v in &block {
+            if !basis.insert_with(v, &mut scratch) {
+                nulls.push(scratch.combo().clone());
+            }
+        }
+        assert_eq!(nulls.len(), 2);
+        for null in &nulls {
+            let mut acc = BitVec::zeros(4);
+            for i in null.ones() {
+                acc.xor_assign(&block[i]);
+            }
+            assert!(acc.is_zero(), "witness must XOR to zero: {null:?}");
+        }
+        // The second witness must involve the vector that triggered it.
+        assert!(nulls[0].get(2));
+        assert!(nulls[1].get(4));
+    }
+
+    #[test]
+    fn express_with_matches_express() {
+        let cols = vec![bv(&[1, 1, 0, 0]), bv(&[0, 1, 1, 0]), bv(&[0, 0, 1, 1])];
+        let mut basis = Basis::new(4, cols.len());
+        basis.insert_all(&cols);
+        let mut scratch = DecodeScratch::new();
+        for tgt in [bv(&[1, 0, 0, 1]), bv(&[0, 1, 0, 1]), bv(&[1, 0, 0, 0])] {
+            let alloc = basis.express(&tgt);
+            let with = basis.express_with(&tgt, &mut scratch);
+            assert_eq!(alloc.is_some(), with);
+            if let Some(x) = alloc {
+                assert_eq!(&x, scratch.combo());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_basis_across_systems() {
+        let mut basis = Basis::new(3, 2);
+        let mut scratch = DecodeScratch::new();
+        assert!(basis.insert_with(&bv(&[1, 0, 1]), &mut scratch));
+        assert!(basis.insert_with(&bv(&[0, 1, 0]), &mut scratch));
+        assert_eq!(basis.rank(), 2);
+        // Reuse for a different (wider) system.
+        basis.reset(4, 3);
+        assert_eq!(basis.rank(), 0);
+        assert_eq!(basis.num_inserted(), 0);
+        assert!(basis.insert_with(&bv(&[1, 1, 0, 0]), &mut scratch));
+        assert!(basis.insert_with(&bv(&[0, 0, 1, 1]), &mut scratch));
+        assert!(!basis.insert_with(&bv(&[1, 1, 1, 1]), &mut scratch));
+        assert_eq!(scratch.combo().ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let mut fresh = Basis::new(4, 3);
+        fresh.insert_all(&[bv(&[1, 1, 0, 0]), bv(&[0, 0, 1, 1]), bv(&[1, 1, 1, 1])]);
+        for tgt in [bv(&[1, 1, 1, 1]), bv(&[1, 0, 0, 0])] {
+            assert_eq!(basis.express(&tgt), fresh.express(&tgt));
         }
     }
 

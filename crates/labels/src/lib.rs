@@ -14,6 +14,8 @@
 
 pub mod ancestry;
 pub mod component_tree;
+pub mod wire;
 
 pub use ancestry::AncestryLabel;
 pub use component_tree::{ComponentId, ComponentTree, FaultTreeEdge};
+pub use wire::{LabelKind, WireError, WireLabel, WireReader, WireWriter};

@@ -75,10 +75,11 @@ pub(crate) struct RScale {
 /// The routing label `L_route(t)` of Eq. (8): per scale, the home-tree index
 /// `i*(t)` and the connectivity vertex label in that tree (whose aux payload
 /// is the serialized tree-routing label).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteLabel {
-    /// Per scale: `(home tree index, vertex label)`; `None` when the vertex
-    /// is isolated at that scale.
+    /// One `(home tree index, vertex label)` entry per distance scale
+    /// (every vertex has a home tree at every scale — covers are built over
+    /// the whole graph).
     pub per_scale: Vec<(usize, SketchVertexLabel)>,
 }
 

@@ -1,0 +1,55 @@
+//! Wire-format codec for the fault-tolerant routing label `L_route(t)`
+//! (Eq. (8)); see [`ftl_labels::wire`] for the record layout.
+
+use crate::ft_routing::RouteLabel;
+use ftl_labels::wire::{LabelKind, WireError, WireLabel, WireReader, WireWriter};
+use ftl_sketch::SketchVertexLabel;
+
+impl WireLabel for RouteLabel {
+    const KIND: LabelKind = LabelKind::Route;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        w.write_word(self.per_scale.len() as u64, 32);
+        for (home, label) in &self.per_scale {
+            w.write_word(*home as u64, 32);
+            label.encode_payload(w);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader) -> Result<Self, WireError> {
+        let scales = r.read_word(32)? as usize;
+        let mut per_scale = Vec::new();
+        for _ in 0..scales {
+            let home = r.read_word(32)? as usize;
+            per_scale.push((home, SketchVertexLabel::decode_payload(r)?));
+        }
+        Ok(RouteLabel { per_scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ft_routing::{FtRoutingScheme, RoutingParams};
+    use ftl_graph::{generators, VertexId};
+    use ftl_seeded::Seed;
+
+    #[test]
+    fn route_labels_roundtrip() {
+        let g = generators::grid(3, 3);
+        let scheme = FtRoutingScheme::new(&g, RoutingParams::new(2, 1), Seed::new(11));
+        for v in 0..g.num_vertices() {
+            let l = scheme.route_label(VertexId::new(v));
+            let back = RouteLabel::from_wire(&l.to_wire()).unwrap();
+            assert_eq!(back, l);
+        }
+    }
+
+    #[test]
+    fn truncated_route_label_rejected() {
+        let g = generators::path(4);
+        let scheme = FtRoutingScheme::new(&g, RoutingParams::new(2, 1), Seed::new(2));
+        let bytes = scheme.route_label(VertexId::new(1)).to_wire();
+        assert!(RouteLabel::from_wire(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests: wire round-trip (`encode → decode ≡ original`) for the
+//! fault-tolerant routing label.
+
+use ftl_gf2::BitVec;
+use ftl_labels::{AncestryLabel, WireLabel};
+use ftl_routing::ft_routing::RouteLabel;
+use ftl_sketch::SketchVertexLabel;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn route_label_roundtrip(
+        scales in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(),
+             proptest::collection::vec(any::<bool>(), 0..25)),
+            0..6,
+        ),
+    ) {
+        let l = RouteLabel {
+            per_scale: scales
+                .iter()
+                .map(|(home, id, pre, post, aux)| {
+                    (
+                        *home as usize,
+                        SketchVertexLabel {
+                            id: *id,
+                            anc: AncestryLabel { pre: *pre, post: *post },
+                            aux: BitVec::from_bits(aux),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let back = RouteLabel::from_wire(&l.to_wire()).unwrap();
+        prop_assert_eq!(back, l);
+    }
+
+    /// Single-bit header corruption is always rejected.
+    #[test]
+    fn corrupted_header_rejected(id in any::<u32>(), bit in 0usize..64) {
+        let l = RouteLabel {
+            per_scale: vec![(0, SketchVertexLabel {
+                id,
+                anc: AncestryLabel { pre: 0, post: 1 },
+                aux: BitVec::zeros(3),
+            })],
+        };
+        let mut bytes = l.to_wire();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(RouteLabel::from_wire(&bytes).is_err());
+    }
+}

@@ -20,5 +20,5 @@ pub mod prf;
 pub mod uid;
 
 pub use pairwise::PairwiseHash;
-pub use prf::Seed;
+pub use prf::{splitmix64, Seed};
 pub use uid::{EdgeUid, UidSpace};

@@ -54,9 +54,11 @@ impl Seed {
     }
 }
 
-/// SplitMix64 finalizer.
+/// SplitMix64 finalizer — the workspace's one canonical mixing primitive
+/// (the engine's shard router and fault-set hashing reuse it rather than
+/// carrying their own constants).
 #[inline]
-fn splitmix(mut z: u64) -> u64 {
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -66,7 +68,7 @@ fn splitmix(mut z: u64) -> u64 {
 /// Mixes a key and one input word through two SplitMix rounds.
 #[inline]
 fn mix2(key: u64, x: u64) -> u64 {
-    splitmix(splitmix(key ^ x.rotate_left(32)).wrapping_add(x))
+    splitmix64(splitmix64(key ^ x.rotate_left(32)).wrapping_add(x))
 }
 
 #[cfg(test)]

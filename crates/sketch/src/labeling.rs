@@ -197,11 +197,15 @@ impl SketchScheme {
             }
         });
         // Per-vertex sketches (Eq. (2)): serialized identifier bits and
-        // sampling keys once per edge, then a per-vertex gather over
-        // incident edges — each vertex owns its sketch, so the sweep is
-        // data-race-free and runs on all cores.
+        // sampling keys once per edge, sampling levels once per (unit, edge)
+        // pair — one streaming pass per unit instead of a hash derivation
+        // per toggle — then a per-vertex gather over incident edges. Each
+        // vertex owns its sketch, so the sweep is data-race-free and runs
+        // on all cores.
         let edge_material: Vec<(BitVec, u64)> =
             ftl_par::par_map(&eids, |eid| (eid.to_bits(), eid.sampling_key()));
+        let keys: Vec<u64> = edge_material.iter().map(|(_, key)| *key).collect();
+        let levels = params.levels_for_keys(sh, &keys);
         let vertex_sketch: Vec<Sketch> = ftl_par::par_map_indexed_with_min(n, 256, |i| {
             let v = VertexId::new(i);
             let mut sketch = Sketch::zero(*params);
@@ -210,8 +214,8 @@ impl SketchScheme {
                 if e.u() == e.v() {
                     continue; // self-loops cancel in their own sketch
                 }
-                let (bits, key) = &edge_material[nb.edge.index()];
-                sketch.toggle_edge(bits, *key, sh);
+                let (bits, _) = &edge_material[nb.edge.index()];
+                sketch.toggle_edge_batched(bits, nb.edge.index(), &levels);
             }
             sketch
         });

@@ -49,8 +49,9 @@ pub mod decode;
 pub mod eid;
 pub mod labeling;
 pub mod sketch;
+pub mod wire;
 
 pub use decode::{decode, DecodeOutcome, PathSegment, PathVertex, SuccinctPath};
 pub use eid::Eid;
 pub use labeling::{SketchEdgeLabel, SketchScheme, SketchVertexLabel, TreeEdgeInfo, VertexAux};
-pub use sketch::{Sketch, SketchParams};
+pub use sketch::{SampledLevels, Sketch, SketchParams};

@@ -79,6 +79,63 @@ impl SketchParams {
     pub fn level_of(&self, sh: Seed, unit: usize, key: u64) -> u32 {
         self.unit_hash(sh, unit).level(key).min(self.levels - 1)
     }
+
+    /// Precomputes the sampling levels of a whole edge population, one pass
+    /// per unit: each unit derives its hash **once** and streams over the
+    /// keys (a multiply-mod per key), instead of re-deriving the hash for
+    /// every `(edge, unit)` pair as the per-call [`SketchParams::level_of`]
+    /// does.
+    ///
+    /// This is the preprocessing bottleneck fix for the labeling sweep: a
+    /// vertex of degree `d` used to pay `units × d` hash derivations (twice
+    /// per edge across its two endpoints); with a [`SampledLevels`] table
+    /// the whole graph pays `units` derivations plus one evaluation per
+    /// `(edge, unit)` pair, laid out unit-major for the sequential sweep.
+    pub fn levels_for_keys(&self, sh: Seed, keys: &[u64]) -> SampledLevels {
+        let units = self.units;
+        // Parallelising pays off once the per-unit stream is long enough to
+        // dwarf thread spawn cost; below that the serial sweep wins.
+        let min_units = if keys.len() >= 4096 { 2 } else { usize::MAX };
+        let per_unit: Vec<Vec<u8>> = ftl_par::par_map_indexed_with_min(units, min_units, |i| {
+            let h = self.unit_hash(sh, i);
+            let cap = self.levels - 1;
+            keys.iter().map(|&k| h.level(k).min(cap) as u8).collect()
+        });
+        SampledLevels {
+            num_keys: keys.len(),
+            levels: per_unit.concat(),
+        }
+    }
+}
+
+/// Precomputed sampling levels for an edge population, unit-major:
+/// `level(unit, edge)` of every `(unit, edge)` pair, built by
+/// [`SketchParams::levels_for_keys`] in one pass per unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledLevels {
+    num_keys: usize,
+    /// `levels[unit * num_keys + edge]`; levels fit in a byte
+    /// (`levels <= 61` by [`PairwiseHash`]'s output-bit bound).
+    levels: Vec<u8>,
+}
+
+impl SampledLevels {
+    /// Number of sketch units covered.
+    pub fn units(&self) -> usize {
+        self.levels.len().checked_div(self.num_keys).unwrap_or(0)
+    }
+
+    /// Number of edge keys covered.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// The clamped sampling level of edge `key_index` in `unit`.
+    #[inline]
+    pub fn level(&self, unit: usize, key_index: usize) -> u32 {
+        debug_assert!(key_index < self.num_keys, "key index out of range");
+        self.levels[unit * self.num_keys + key_index] as u32
+    }
 }
 
 /// A sketch: `units × levels` XOR-cells of extended edge identifiers.
@@ -120,16 +177,45 @@ impl Sketch {
         self.cells.xor_assign(&other.cells);
     }
 
+    /// XORs `eid_bits` into cells `(unit, 0..=lvl)` — the shared sweep of
+    /// both toggle paths.
+    #[inline]
+    fn toggle_unit(&mut self, unit: usize, lvl: u32, eid_bits: &BitVec) {
+        for j in 0..=lvl {
+            self.cells
+                .xor_bitvec_into_row(unit * self.params.levels as usize + j as usize, eid_bits);
+        }
+    }
+
     /// XORs one edge into every level it is sampled at, in every unit.
     /// Adding an edge twice removes it — used both to build vertex sketches
     /// and to cancel faulty edges (decoder Step 3).
     pub fn toggle_edge(&mut self, eid_bits: &BitVec, key: u64, sh: Seed) {
         for i in 0..self.params.units {
             let lvl = self.params.level_of(sh, i, key);
-            for j in 0..=lvl {
-                self.cells
-                    .xor_bitvec_into_row(i * self.params.levels as usize + j as usize, eid_bits);
-            }
+            self.toggle_unit(i, lvl, eid_bits);
+        }
+    }
+
+    /// [`Sketch::toggle_edge`] against a precomputed [`SampledLevels`]
+    /// table: no hash derivations or evaluations at toggle time, just the
+    /// XOR sweep. `key_index` is the edge's position in the key slice the
+    /// table was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the table covers fewer units than this
+    /// sketch has.
+    pub fn toggle_edge_batched(
+        &mut self,
+        eid_bits: &BitVec,
+        key_index: usize,
+        levels: &SampledLevels,
+    ) {
+        debug_assert_eq!(levels.units(), self.params.units, "unit count mismatch");
+        for i in 0..self.params.units {
+            let lvl = levels.level(i, key_index);
+            self.toggle_unit(i, lvl, eid_bits);
         }
     }
 
@@ -158,6 +244,28 @@ impl Sketch {
     /// component sketch).
     pub fn is_zero(&self) -> bool {
         self.cells.is_zero()
+    }
+
+    /// The raw cell bank (row `i * levels + j` is cell `(i, j)`); the wire
+    /// codec serializes sketches from here.
+    pub fn cells(&self) -> &BitMatrix {
+        &self.cells
+    }
+
+    /// Rebuilds a sketch from a cell bank of the exact shape
+    /// [`Sketch::cells`] exposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match `params`.
+    pub fn from_cells(params: SketchParams, cells: BitMatrix) -> Self {
+        assert_eq!(
+            cells.num_rows(),
+            params.units * params.levels as usize,
+            "cell row count mismatch"
+        );
+        assert_eq!(cells.num_cols(), params.cell_bits(), "cell width mismatch");
+        Sketch { params, cells }
     }
 
     /// Size of this sketch in bits.
@@ -293,6 +401,41 @@ mod tests {
         assert_eq!(p2.cell_bits(), crate::eid::FIXED_BITS + 20);
         let p3 = p.with_units(3);
         assert_eq!(p3.units, 3);
+    }
+
+    #[test]
+    fn batched_levels_match_per_call_level_of() {
+        let p = params();
+        let sh = Seed::new(21);
+        let keys: Vec<u64> = (0..500u64).map(|k| k.wrapping_mul(0x9E37_79B9)).collect();
+        let table = p.levels_for_keys(sh, &keys);
+        assert_eq!(table.units(), p.units);
+        assert_eq!(table.num_keys(), keys.len());
+        for i in 0..p.units {
+            for (e, &key) in keys.iter().enumerate() {
+                assert_eq!(
+                    table.level(i, e),
+                    p.level_of(sh, i, key),
+                    "unit {i} edge {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_edge_batched_matches_toggle_edge() {
+        let sid = UidSpace::new(Seed::new(30));
+        let sh = Seed::new(31);
+        let eids: Vec<Eid> = (1..=20u32).map(|v| eid_for(&sid, 0, v)).collect();
+        let keys: Vec<u64> = eids.iter().map(|e| e.sampling_key()).collect();
+        let table = params().levels_for_keys(sh, &keys);
+        let mut direct = Sketch::zero(params());
+        let mut batched = Sketch::zero(params());
+        for (i, e) in eids.iter().enumerate() {
+            direct.toggle_edge(&e.to_bits(), e.sampling_key(), sh);
+            batched.toggle_edge_batched(&e.to_bits(), i, &table);
+        }
+        assert_eq!(direct, batched);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Property tests: wire round-trip (`encode → decode ≡ original`) for the
+//! sketch label types, over arbitrary identifier fields and over
+//! scheme-generated labels (which exercise the subtree-sketch payload).
+
+use ftl_gf2::BitVec;
+use ftl_labels::{AncestryLabel, WireLabel};
+use ftl_seeded::{EdgeUid, Seed};
+use ftl_sketch::{Eid, SketchEdgeLabel, SketchParams, SketchScheme, SketchVertexLabel};
+use proptest::prelude::*;
+
+fn arb_eid(uid: u64, ids: [u32; 2], anc: [u32; 4], ports: [u32; 2], aux: &[bool]) -> Eid {
+    let (lo, hi) = (ids[0].min(ids[1]), ids[0].max(ids[1]));
+    Eid {
+        uid: EdgeUid(uid),
+        lo,
+        hi,
+        anc_lo: AncestryLabel {
+            pre: anc[0],
+            post: anc[1],
+        },
+        anc_hi: AncestryLabel {
+            pre: anc[2],
+            post: anc[3],
+        },
+        port_lo: ports[0],
+        port_hi: ports[1],
+        aux_lo: BitVec::from_bits(aux),
+        aux_hi: BitVec::from_bits(&aux.iter().map(|b| !b).collect::<Vec<_>>()),
+    }
+}
+
+proptest! {
+    #[test]
+    fn vertex_label_roundtrip(
+        id in any::<u32>(),
+        pre in any::<u32>(),
+        post in any::<u32>(),
+        aux in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let l = SketchVertexLabel {
+            id,
+            anc: AncestryLabel { pre, post },
+            aux: BitVec::from_bits(&aux),
+        };
+        prop_assert_eq!(SketchVertexLabel::from_wire(&l.to_wire()).unwrap(), l);
+    }
+
+    /// Non-tree edge labels (a bare extended identifier) round-trip for
+    /// arbitrary field values and aux widths.
+    #[test]
+    fn non_tree_edge_label_roundtrip(
+        uid in any::<u64>(),
+        ids in proptest::collection::vec(any::<u32>(), 2..3),
+        anc in proptest::collection::vec(any::<u32>(), 4..5),
+        ports in proptest::collection::vec(any::<u32>(), 2..3),
+        aux in proptest::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let l = SketchEdgeLabel {
+            eid: arb_eid(uid, [ids[0], ids[1]], [anc[0], anc[1], anc[2], anc[3]],
+                         [ports[0], ports[1]], &aux),
+            tree: None,
+        };
+        let back = SketchEdgeLabel::from_wire(&l.to_wire()).unwrap();
+        prop_assert_eq!(back, l);
+    }
+
+    /// Scheme-generated labels — including tree edges carrying a full
+    /// subtree sketch and both seeds — round-trip for arbitrary seeds and
+    /// unit counts.
+    #[test]
+    fn scheme_edge_labels_roundtrip(seed in any::<u64>(), units in 1usize..10) {
+        let g = ftl_graph::generators::grid(2, 3);
+        let params = SketchParams::for_graph(&g).with_units(units);
+        let scheme = SketchScheme::label(&g, &params, Seed::new(seed)).unwrap();
+        for e in 0..g.num_edges() {
+            let l = scheme.edge_label(ftl_graph::EdgeId::new(e));
+            prop_assert_eq!(SketchEdgeLabel::from_wire(&l.to_wire()).unwrap(), l);
+        }
+    }
+
+    /// Single-bit header corruption is always rejected.
+    #[test]
+    fn corrupted_header_rejected(seed in any::<u64>(), bit in 0usize..64) {
+        let g = ftl_graph::generators::path(3);
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let mut bytes = scheme.edge_label(ftl_graph::EdgeId::new(0)).to_wire();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(SketchEdgeLabel::from_wire(&bytes).is_err());
+    }
+}

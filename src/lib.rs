@@ -6,6 +6,7 @@
 
 pub use ftl_core as core_schemes;
 pub use ftl_cycle_space as cycle_space;
+pub use ftl_engine as engine;
 pub use ftl_gf2 as gf2;
 pub use ftl_graph as graph;
 pub use ftl_labels as labels;
