@@ -38,6 +38,27 @@ pub fn standard_suite(rng: &mut StdRng) -> Vec<Workload> {
     ]
 }
 
+/// The 1k-node scale suite (PR 5): the DRFE-R-style topologies at the
+/// sizes its scalability tables use — a 32×32 grid, a sparse
+/// Erdős–Rényi graph, and a Barabási–Albert preferential-attachment
+/// graph, all on 1024 vertices.
+pub fn scale_suite(rng: &mut StdRng) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "grid-32x32".into(),
+            graph: generators::grid(32, 32),
+        },
+        Workload {
+            name: "er-1024".into(),
+            graph: generators::connected_random(1024, 8.0 / 1024.0, 1, rng),
+        },
+        Workload {
+            name: "ba-1024".into(),
+            graph: generators::barabasi_albert(1024, 3, rng),
+        },
+    ]
+}
+
 /// Samples `f` distinct random faulty edges.
 ///
 /// Distinctness is tracked through a `HashSet`, so sampling is expected
@@ -100,6 +121,15 @@ mod tests {
     fn suite_is_nonempty_and_connected() {
         let mut r = rng(1);
         for w in standard_suite(&mut r) {
+            assert!(ftl_graph::traversal::is_connected(&w.graph), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_suite_is_1k_and_connected() {
+        let mut r = rng(1);
+        for w in scale_suite(&mut r) {
+            assert_eq!(w.graph.num_vertices(), 1024, "{}", w.name);
             assert!(ftl_graph::traversal::is_connected(&w.graph), "{}", w.name);
         }
     }

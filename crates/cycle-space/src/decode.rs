@@ -47,19 +47,23 @@ impl CycleSpaceDecoder {
         out.or_shifted(&e.phi, 2);
     }
 
-    /// [`decode_with_certificate`], reusing this decoder's buffers. Only the
-    /// returned certificate allocates.
-    pub fn decode_with_certificate(
+    /// Runs the elimination and reports whether a separating combination
+    /// exists, leaving it in the scratch `combo` — the allocation-free core
+    /// shared by [`CycleSpaceDecoder::decode`] (which never materializes
+    /// the certificate) and
+    /// [`CycleSpaceDecoder::decode_with_certificate`] (which collects it
+    /// only on separation).
+    fn find_separating_combo(
         &mut self,
         s: &CycleSpaceVertexLabel,
         t: &CycleSpaceVertexLabel,
         faults: &[CycleSpaceEdgeLabel],
-    ) -> Option<Vec<usize>> {
+    ) -> bool {
         if s.anc == t.anc {
-            return None; // s == t: always connected
+            return false; // s == t: always connected
         }
         if faults.is_empty() {
-            return None; // the base graph is connected
+            return false; // the base graph is connected
         }
         let b = faults[0].phi.len();
         if self.cols.len() < faults.len() {
@@ -74,21 +78,34 @@ impl CycleSpaceDecoder {
             self.w.reset_zeroed(b + 2);
             self.w.set(wbit, true);
             if self.basis.express_with(&self.w, &mut self.scratch) {
-                return Some(self.scratch.combo().ones().collect());
+                return true;
             }
         }
-        None
+        false
+    }
+
+    /// [`decode_with_certificate`], reusing this decoder's buffers. Only the
+    /// returned certificate allocates, and only on separation.
+    pub fn decode_with_certificate(
+        &mut self,
+        s: &CycleSpaceVertexLabel,
+        t: &CycleSpaceVertexLabel,
+        faults: &[CycleSpaceEdgeLabel],
+    ) -> Option<Vec<usize>> {
+        self.find_separating_combo(s, t, faults)
+            .then(|| self.scratch.combo().ones().collect())
     }
 
     /// [`decode`], reusing this decoder's buffers; fully allocation-free
-    /// after warm-up.
+    /// after warm-up (unlike the certificate form, separated pairs allocate
+    /// nothing either).
     pub fn decode(
         &mut self,
         s: &CycleSpaceVertexLabel,
         t: &CycleSpaceVertexLabel,
         faults: &[CycleSpaceEdgeLabel],
     ) -> bool {
-        self.decode_with_certificate(s, t, faults).is_none()
+        !self.find_separating_combo(s, t, faults)
     }
 }
 

@@ -22,9 +22,11 @@
 //! `O(f²/64)` words instead of a fresh `O(f²·(f+log n)/64)` elimination.
 //! A separating generator is itself the disconnecting cut certificate `F′`.
 
+use crate::store::{DecodedSidecar, StoreError, StoreKey};
 use ftl_cycle_space::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
 use ftl_gf2::{Basis, BitVec, DecodeScratch};
 use ftl_graph::EdgeId;
+use ftl_labels::AncestryLabel;
 
 /// One connectivity query against a registered fault set.
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
@@ -37,15 +39,18 @@ pub struct ConnQuery {
     pub fault_set: usize,
 }
 
-/// A fault set after its one-time elimination: the decoded edge labels and
-/// the null-space generators of their `φ` columns. Everything queries need;
-/// nothing per-query remains to eliminate.
+/// A fault set after its one-time elimination: the null-space generators of
+/// its `φ` columns plus, for each **tree** fault, the precomputed child
+/// ancestry interval. Everything queries need; nothing per-query remains to
+/// eliminate or decode.
 #[derive(Debug, Clone)]
 pub struct EliminatedFaultSet {
     /// Fault edge ids, sorted ascending (the canonical order).
     edge_ids: Vec<EdgeId>,
-    /// Decoded labels, aligned with `edge_ids`.
-    labels: Vec<CycleSpaceEdgeLabel>,
+    /// `(position in edge_ids, child pre, child post)` of the tree faults —
+    /// see `tree_child_interval_of` in [`crate::store`] for why one child
+    /// interval captures the whole `on_root_path_of` test.
+    tree_intervals: Vec<(u32, u32, u32)>,
     /// Null-space generators over positions in `edge_ids`.
     null_gens: Vec<BitVec>,
     /// Rank of the `φ` columns.
@@ -64,24 +69,77 @@ impl EliminatedFaultSet {
         let f = labels.len();
         let mut null_gens = Vec::new();
         let mut rank = 0;
+        let mut tree_intervals = Vec::new();
         if f > 0 {
             let b = labels[0].phi.len();
             let mut basis = Basis::new(b, f);
             let mut scratch = DecodeScratch::new();
-            for l in &labels {
+            for (i, l) in labels.iter().enumerate() {
                 if basis.insert_with(&l.phi, &mut scratch) {
                     rank += 1;
                 } else {
                     null_gens.push(scratch.combo().clone());
                 }
+                if let Some((pre, post)) = crate::store::tree_child_interval_of(l) {
+                    tree_intervals.push((i as u32, pre, post));
+                }
             }
         }
         EliminatedFaultSet {
             edge_ids,
-            labels,
+            tree_intervals,
             null_gens,
             rank,
         }
+    }
+
+    /// [`EliminatedFaultSet::eliminate`] fed straight from a store's
+    /// [`DecodedSidecar`]: `φ` columns are read out of the contiguous
+    /// column bank and the tree intervals were precomputed at freeze time,
+    /// so the elimination touches no `WireReader` and materializes no
+    /// [`CycleSpaceEdgeLabel`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Missing`] if any fault edge has no decoded
+    /// record in the sidecar (callers fall back to the wire path).
+    pub fn eliminate_from_sidecar(
+        edge_ids: Vec<EdgeId>,
+        sidecar: &DecodedSidecar,
+    ) -> Result<Self, StoreError> {
+        debug_assert!(
+            edge_ids.windows(2).all(|w| w[0] < w[1]),
+            "ids not canonical"
+        );
+        let f = edge_ids.len();
+        let mut null_gens = Vec::new();
+        let mut rank = 0;
+        let mut tree_intervals = Vec::new();
+        if f > 0 {
+            let b = sidecar.phi_width();
+            let mut basis = Basis::new(b, f);
+            let mut scratch = DecodeScratch::new();
+            let mut col = BitVec::zeros(0);
+            for (i, &e) in edge_ids.iter().enumerate() {
+                if !sidecar.read_phi_into(e, &mut col) {
+                    return Err(StoreError::Missing(StoreKey::edge(e)));
+                }
+                if basis.insert_with(&col, &mut scratch) {
+                    rank += 1;
+                } else {
+                    null_gens.push(scratch.combo().clone());
+                }
+                if let Some((pre, post)) = sidecar.tree_child_interval(e) {
+                    tree_intervals.push((i as u32, pre, post));
+                }
+            }
+        }
+        Ok(EliminatedFaultSet {
+            edge_ids,
+            tree_intervals,
+            null_gens,
+            rank,
+        })
     }
 
     /// Number of faults.
@@ -106,12 +164,9 @@ impl EliminatedFaultSet {
 
     /// Approximate resident size in bytes (for cache accounting).
     pub fn resident_bytes(&self) -> usize {
-        self.labels
-            .iter()
-            .map(|l| l.phi.len() / 8 + 24)
-            .sum::<usize>()
-            + self.null_gens.len() * (self.edge_ids.len() / 8 + 24)
+        self.null_gens.len() * (self.edge_ids.len() / 8 + 24)
             + self.edge_ids.len() * 4
+            + self.tree_intervals.len() * 12
     }
 
     /// Answers one query: returns the index of a separating null-space
@@ -125,13 +180,28 @@ impl EliminatedFaultSet {
         t: &CycleSpaceVertexLabel,
         diff: &mut BitVec,
     ) -> Option<usize> {
-        if s.anc == t.anc || self.null_gens.is_empty() {
+        self.separating_generator_anc(&s.anc, &t.anc, diff)
+    }
+
+    /// [`EliminatedFaultSet::separating_generator`] on bare ancestry
+    /// intervals — the zero-decode hot path: one containment test per
+    /// **tree** fault (non-tree faults were dropped at elimination time)
+    /// and one AND-popcount per generator.
+    pub fn separating_generator_anc(
+        &self,
+        s: &AncestryLabel,
+        t: &AncestryLabel,
+        diff: &mut BitVec,
+    ) -> Option<usize> {
+        if s == t || self.null_gens.is_empty() {
             return None;
         }
         diff.reset_zeroed(self.edge_ids.len());
-        for (i, l) in self.labels.iter().enumerate() {
-            if l.on_root_path_of(&s.anc) != l.on_root_path_of(&t.anc) {
-                diff.set(i, true);
+        for &(i, pre, post) in &self.tree_intervals {
+            let on_s = pre <= s.pre && s.post <= post;
+            let on_t = pre <= t.pre && t.post <= post;
+            if on_s != on_t {
+                diff.set(i as usize, true);
             }
         }
         self.null_gens

@@ -1,15 +1,33 @@
 //! The query engine: store → batcher → decoder → cache.
 //!
-//! An [`Engine`] owns a frozen [`LabelStore`] of wire-encoded cycle-space
-//! labels and serves [`BatchRequest`]s: connectivity queries grouped by
-//! fault set. Each distinct fault set is eliminated **once** (or fetched
-//! from the LRU cache of eliminated bases, keyed by the canonical
-//! fault-set hash); each query then costs ancestry checks plus a parity
-//! test — see [`crate::batch`] for the math.
+//! An [`Engine`] serves [`BatchRequest`]s — connectivity queries grouped by
+//! fault set — over a frozen [`LabelStore`] of wire-encoded cycle-space
+//! labels. Each distinct fault set is eliminated **once** (or fetched from
+//! the LRU cache of eliminated bases, keyed by the canonical fault-set
+//! hash); each query then costs ancestry compares plus a parity test — see
+//! [`crate::batch`] for the math.
+//!
+//! # The zero-decode hot path
+//!
+//! The store's [`DecodedSidecar`](crate::store::DecodedSidecar) holds every
+//! label decoded at freeze time, so the cache-hot path touches no
+//! `WireReader`: vertex lookups are array reads of ancestry intervals, and
+//! elimination (on cache miss) streams `φ` columns straight out of the
+//! sidecar's contiguous bank. Records the sidecar could not place fall
+//! back to wire decoding transparently;
+//! [`EngineConfig::use_sidecar`] `= false` forces the wire path everywhere
+//! (the pre-sidecar behavior, kept as a benchmark baseline).
+//!
+//! The serving state lives in [`EngineCore`] — cache, scratch, and decoder
+//! arenas with no reference to a particular store — so one store shared
+//! behind an `Arc` can serve any number of engines;
+//! [`ParEngine`](crate::par::ParEngine) runs one core per worker thread.
 //!
 //! The naive serving path — a fresh elimination per query — is kept as
 //! [`Engine::execute_naive`], both as the differential-testing oracle and
-//! as the benchmark baseline.
+//! as the benchmark baseline; it shares the per-engine
+//! [`ftl_gf2::DecodeScratch`] arenas, so the batched-vs-naive comparison
+//! measures algorithm, not allocator.
 
 use crate::batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
 use crate::cache::LruCache;
@@ -19,7 +37,9 @@ use ftl_cycle_space::{
 };
 use ftl_gf2::BitVec;
 use ftl_graph::{EdgeId, VertexId};
+use ftl_labels::AncestryLabel;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Engine tuning knobs.
@@ -32,6 +52,10 @@ pub struct EngineConfig {
     /// Whether disconnected results carry the cut certificate `F′`
     /// (costs one small allocation per disconnected query).
     pub collect_certificates: bool,
+    /// Whether to serve from the store's decoded sidecar (default). `false`
+    /// forces the wire-decoding path on every lookup — the pre-sidecar
+    /// behavior, kept for benchmarking the zero-decode win.
+    pub use_sidecar: bool,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +64,7 @@ impl Default for EngineConfig {
             num_shards: 16,
             cache_capacity: 64,
             collect_certificates: false,
+            use_sidecar: true,
         }
     }
 }
@@ -119,10 +144,14 @@ pub struct BatchResponse {
     pub stats: BatchStats,
 }
 
-/// The sharded, batch-decoding label-query engine.
-pub struct Engine {
+/// Per-thread serving state: the eliminated-basis cache, the decode
+/// scratch arenas, and the naive-path decoder. A core holds **no** store
+/// reference — callers pass the (shared, immutable) store into every call,
+/// which is what lets [`crate::par::ParEngine`] run one core per worker
+/// over a single `Arc<LabelStore>` with no shared mutable state.
+#[derive(Debug)]
+pub(crate) struct EngineCore {
     config: EngineConfig,
-    store: LabelStore,
     cache: LruCache<Arc<EliminatedFaultSet>>,
     /// Scratch for the per-query `D(s, t)` vector.
     diff: BitVec,
@@ -130,60 +159,48 @@ pub struct Engine {
     ids_scratch: Vec<EdgeId>,
     /// Reusable per-query eliminator for the naive baseline path.
     naive: CycleSpaceDecoder,
+    /// Reusable per-fault-set label buffer for the naive baseline path.
+    naive_labels: Vec<Vec<CycleSpaceEdgeLabel>>,
 }
 
-impl Engine {
-    /// Builds an engine over an already-frozen store.
-    pub fn new(store: LabelStore, config: EngineConfig) -> Self {
-        Engine {
+impl EngineCore {
+    pub(crate) fn new(config: EngineConfig) -> Self {
+        EngineCore {
             config,
-            store,
             cache: LruCache::new(config.cache_capacity),
             diff: BitVec::zeros(0),
             ids_scratch: Vec::new(),
             naive: CycleSpaceDecoder::new(),
+            naive_labels: Vec::new(),
         }
     }
 
-    /// Encodes every label of a cycle-space scheme to the wire format and
-    /// loads the frozen store — the usual way to stand an engine up.
-    pub fn from_cycle_space(scheme: &CycleSpaceScheme, config: EngineConfig) -> Self {
-        let mut builder = LabelStoreBuilder::new(config.num_shards);
-        for i in 0..scheme.num_vertices() {
-            let v = VertexId::new(i);
-            builder.put_vertex_label(v, &scheme.vertex_label(v));
-        }
-        for i in 0..scheme.num_edges() {
-            let e = EdgeId::new(i);
-            builder.put_edge_label(e, &scheme.edge_label(e));
-        }
-        Engine::new(builder.freeze(), config)
-    }
-
-    /// The underlying store.
-    pub fn store(&self) -> &LabelStore {
-        &self.store
-    }
-
-    /// Engine configuration.
-    pub fn config(&self) -> EngineConfig {
-        self.config
-    }
-
-    /// Cumulative cache hits since construction.
-    pub fn cache_hits(&self) -> u64 {
+    pub(crate) fn cache_hits(&self) -> u64 {
         self.cache.hits()
     }
 
-    /// Cumulative cache misses since construction.
-    pub fn cache_misses(&self) -> u64 {
+    pub(crate) fn cache_misses(&self) -> u64 {
         self.cache.misses()
     }
 
+    /// The ancestry interval of `v`: a sidecar array read on the hot path,
+    /// wire decoding only for records the sidecar could not place.
+    #[inline]
+    fn vertex_anc(&self, store: &LabelStore, v: VertexId) -> Result<AncestryLabel, EngineError> {
+        if self.config.use_sidecar {
+            if let Some(anc) = store.sidecar().vertex_anc(v) {
+                return Ok(anc);
+            }
+        }
+        Ok(store.vertex_label::<CycleSpaceVertexLabel>(v)?.anc)
+    }
+
     /// Resolves one fault set to its eliminated basis: canonicalise, probe
-    /// the cache, eliminate on miss.
-    fn resolve_fault_set(
+    /// the cache, eliminate on miss — from the sidecar's `φ` bank when it
+    /// covers the whole set, from wire otherwise.
+    pub(crate) fn resolve_fault_set(
         &mut self,
+        store: &LabelStore,
         faults: &[EdgeId],
         stats: &mut BatchStats,
     ) -> Result<Arc<EliminatedFaultSet>, EngineError> {
@@ -203,14 +220,248 @@ impl Engine {
             }
         }
         let ids = self.ids_scratch.clone();
-        let labels: Vec<CycleSpaceEdgeLabel> = ids
-            .iter()
-            .map(|&e| self.store.edge_label(e))
-            .collect::<Result<_, _>>()?;
-        let efs = Arc::new(EliminatedFaultSet::eliminate(ids, labels));
+        let efs = if self.config.use_sidecar && store.sidecar().covers_edges(&ids) {
+            EliminatedFaultSet::eliminate_from_sidecar(ids, store.sidecar())?
+        } else {
+            let labels: Vec<CycleSpaceEdgeLabel> = ids
+                .iter()
+                .map(|&e| store.edge_label(e))
+                .collect::<Result<_, _>>()?;
+            EliminatedFaultSet::eliminate(ids, labels)
+        };
+        let efs = Arc::new(efs);
         stats.eliminations += 1;
         self.cache.insert(hash, Arc::clone(&efs));
         Ok(efs)
+    }
+
+    /// Serves a batch: one elimination (or cache hit) per distinct fault
+    /// set, a parity test per query. Results come back in request order.
+    pub(crate) fn execute(
+        &mut self,
+        store: &LabelStore,
+        req: &BatchRequest,
+    ) -> Result<BatchResponse, EngineError> {
+        let mut stats = BatchStats {
+            queries: req.queries.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        let resolved: Vec<Arc<EliminatedFaultSet>> = req
+            .fault_sets
+            .iter()
+            .map(|fs| self.resolve_fault_set(store, fs, &mut stats))
+            .collect::<Result<_, _>>()?;
+        let mut results = Vec::with_capacity(req.queries.len());
+        for q in &req.queries {
+            let efs = resolved
+                .get(q.fault_set)
+                .ok_or(EngineError::UnknownFaultSet {
+                    index: q.fault_set,
+                    available: resolved.len(),
+                })?;
+            results.push(self.answer(store, efs, q)?);
+        }
+        Ok(BatchResponse { results, stats })
+    }
+
+    /// [`EngineCore::execute`] restricted to `queries[range]` — the
+    /// per-worker slice of a [`crate::par::ParEngine`] batch. Fault sets
+    /// are resolved lazily, so a worker eliminates (and caches) only the
+    /// sets its own queries reference.
+    pub(crate) fn execute_range(
+        &mut self,
+        store: &LabelStore,
+        req: &BatchRequest,
+        range: Range<usize>,
+    ) -> Result<(Vec<QueryResult>, BatchStats), EngineError> {
+        let mut stats = BatchStats {
+            queries: range.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        let mut resolved: Vec<Option<Arc<EliminatedFaultSet>>> = vec![None; req.fault_sets.len()];
+        let mut results = Vec::with_capacity(range.len());
+        for q in &req.queries[range] {
+            if q.fault_set >= resolved.len() {
+                return Err(EngineError::UnknownFaultSet {
+                    index: q.fault_set,
+                    available: resolved.len(),
+                });
+            }
+            if resolved[q.fault_set].is_none() {
+                let efs =
+                    self.resolve_fault_set(store, &req.fault_sets[q.fault_set], &mut stats)?;
+                resolved[q.fault_set] = Some(efs);
+            }
+            // `resolved` is a local, so borrowing an entry does not pin
+            // `self`: answer() can still take its scratch mutably.
+            let efs = resolved[q.fault_set].as_deref().expect("just resolved");
+            results.push(self.answer(store, efs, q)?);
+        }
+        Ok((results, stats))
+    }
+
+    /// Answers one query against its eliminated fault set — the zero-decode
+    /// kernel: two ancestry lookups, one interval compare per tree fault,
+    /// one AND-popcount per generator.
+    #[inline]
+    fn answer(
+        &mut self,
+        store: &LabelStore,
+        efs: &EliminatedFaultSet,
+        q: &ConnQuery,
+    ) -> Result<QueryResult, EngineError> {
+        let s_anc = self.vertex_anc(store, q.s)?;
+        let t_anc = self.vertex_anc(store, q.t)?;
+        let gen = efs.separating_generator_anc(&s_anc, &t_anc, &mut self.diff);
+        Ok(QueryResult {
+            connected: gen.is_none(),
+            certificate: match gen {
+                Some(g) if self.config.collect_certificates => Some(efs.certificate(g)),
+                _ => None,
+            },
+        })
+    }
+
+    /// The naive serving path: labels are still fetched per fault set, but
+    /// every query pays a **fresh elimination** of the augmented system
+    /// (the pre-engine `ftl_cycle_space::decode` formulation). Baseline for
+    /// the batched path; also its differential oracle.
+    ///
+    /// All elimination state is arena-reused across queries (the core's
+    /// [`CycleSpaceDecoder`] and per-set label buffers), so what this
+    /// measures against [`EngineCore::execute`] is the algorithmic gap —
+    /// per-query elimination versus shared elimination — not allocator
+    /// noise.
+    pub(crate) fn execute_naive(
+        &mut self,
+        store: &LabelStore,
+        req: &BatchRequest,
+    ) -> Result<BatchResponse, EngineError> {
+        let mut stats = BatchStats {
+            queries: req.queries.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        // Decode each fault set's labels once into reusable buffers —
+        // through the sidecar when it covers them (decode-free, like the
+        // batched path), from wire otherwise.
+        if self.naive_labels.len() < req.fault_sets.len() {
+            self.naive_labels
+                .resize_with(req.fault_sets.len(), Vec::new);
+        }
+        for (buf, fs) in self.naive_labels.iter_mut().zip(&req.fault_sets) {
+            buf.clear();
+            for &e in fs {
+                let label = if self.config.use_sidecar {
+                    match store.sidecar().materialize_edge_label(e) {
+                        Some(l) => l,
+                        None => store.edge_label(e)?,
+                    }
+                } else {
+                    store.edge_label(e)?
+                };
+                buf.push(label);
+            }
+        }
+        let mut results = Vec::with_capacity(req.queries.len());
+        for q in &req.queries {
+            if q.fault_set >= req.fault_sets.len() {
+                return Err(EngineError::UnknownFaultSet {
+                    index: q.fault_set,
+                    available: req.fault_sets.len(),
+                });
+            }
+            let s_anc = self.vertex_anc(store, q.s)?;
+            let t_anc = self.vertex_anc(store, q.t)?;
+            let sl = CycleSpaceVertexLabel { anc: s_anc };
+            let tl = CycleSpaceVertexLabel { anc: t_anc };
+            let labels = &self.naive_labels[q.fault_set];
+            stats.eliminations += 1;
+            let (connected, certificate) = if self.config.collect_certificates {
+                match self.naive.decode_with_certificate(&sl, &tl, labels) {
+                    Some(idx) => (
+                        false,
+                        Some(
+                            idx.into_iter()
+                                .map(|i| req.fault_sets[q.fault_set][i])
+                                .collect(),
+                        ),
+                    ),
+                    None => (true, None),
+                }
+            } else {
+                // Boolean decode: no certificate is ever materialized, so
+                // separated queries allocate nothing either.
+                (self.naive.decode(&sl, &tl, labels), None)
+            };
+            results.push(QueryResult {
+                connected,
+                certificate,
+            });
+        }
+        Ok(BatchResponse { results, stats })
+    }
+}
+
+/// The sharded, batch-decoding label-query engine: one [`EngineCore`] over
+/// one (shareable) frozen store.
+pub struct Engine {
+    store: Arc<LabelStore>,
+    core: EngineCore,
+}
+
+impl Engine {
+    /// Builds an engine over an already-frozen store.
+    pub fn new(store: LabelStore, config: EngineConfig) -> Self {
+        Engine::with_shared(Arc::new(store), config)
+    }
+
+    /// Builds an engine over a store already shared behind an `Arc` —
+    /// e.g. the same store a [`crate::par::ParEngine`] serves.
+    pub fn with_shared(store: Arc<LabelStore>, config: EngineConfig) -> Self {
+        Engine {
+            store,
+            core: EngineCore::new(config),
+        }
+    }
+
+    /// Encodes every label of a cycle-space scheme to the wire format and
+    /// loads the frozen store — the usual way to stand an engine up. A
+    /// config with `use_sidecar = false` freezes wire-only, skipping the
+    /// sidecar's build time and resident bytes along with its reads.
+    pub fn from_cycle_space(scheme: &CycleSpaceScheme, config: EngineConfig) -> Self {
+        Engine::new(
+            store_from_cycle_space_for(scheme, config.num_shards, config.use_sidecar),
+            config,
+        )
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// A shared handle to the store (for standing up further engines or a
+    /// [`crate::par::ParEngine`] over the same frozen labels).
+    pub fn shared_store(&self) -> Arc<LabelStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.core.config
+    }
+
+    /// Cumulative cache hits since construction.
+    pub fn cache_hits(&self) -> u64 {
+        self.core.cache_hits()
+    }
+
+    /// Cumulative cache misses since construction.
+    pub fn cache_misses(&self) -> u64 {
+        self.core.cache_misses()
     }
 
     /// Serves a batch: one elimination (or cache hit) per distinct fault
@@ -221,85 +472,44 @@ impl Engine {
     /// Fails if a query names a fault set the request does not carry, or if
     /// a referenced label is missing from the store / fails to decode.
     pub fn execute(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
-        let mut stats = BatchStats {
-            queries: req.queries.len(),
-            fault_sets: req.fault_sets.len(),
-            ..BatchStats::default()
-        };
-        let resolved: Vec<Arc<EliminatedFaultSet>> = req
-            .fault_sets
-            .iter()
-            .map(|fs| self.resolve_fault_set(fs, &mut stats))
-            .collect::<Result<_, _>>()?;
-        let mut results = Vec::with_capacity(req.queries.len());
-        for q in &req.queries {
-            let efs = resolved
-                .get(q.fault_set)
-                .ok_or(EngineError::UnknownFaultSet {
-                    index: q.fault_set,
-                    available: resolved.len(),
-                })?;
-            let sl: CycleSpaceVertexLabel = self.store.vertex_label(q.s)?;
-            let tl: CycleSpaceVertexLabel = self.store.vertex_label(q.t)?;
-            let gen = efs.separating_generator(&sl, &tl, &mut self.diff);
-            results.push(QueryResult {
-                connected: gen.is_none(),
-                certificate: match gen {
-                    Some(g) if self.config.collect_certificates => Some(efs.certificate(g)),
-                    _ => None,
-                },
-            });
-        }
-        Ok(BatchResponse { results, stats })
+        self.core.execute(&self.store, req)
     }
 
-    /// The naive serving path: labels are still fetched per fault set, but
-    /// every query pays a **fresh elimination** of the augmented system
-    /// (the pre-engine `ftl_cycle_space::decode` formulation). Baseline for
-    /// the batched path; also its differential oracle.
+    /// The naive serving path — a fresh elimination per query — kept as
+    /// the benchmark baseline and differential oracle. See
+    /// [`EngineCore::execute_naive`] for the arena-reuse story.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`Engine::execute`].
     pub fn execute_naive(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
-        let mut stats = BatchStats {
-            queries: req.queries.len(),
-            fault_sets: req.fault_sets.len(),
-            ..BatchStats::default()
-        };
-        let labels_per_set: Vec<Vec<CycleSpaceEdgeLabel>> = req
-            .fault_sets
-            .iter()
-            .map(|fs| {
-                fs.iter()
-                    .map(|&e| self.store.edge_label(e))
-                    .collect::<Result<_, _>>()
-            })
-            .collect::<Result<_, _>>()?;
-        let mut results = Vec::with_capacity(req.queries.len());
-        for q in &req.queries {
-            let labels = labels_per_set
-                .get(q.fault_set)
-                .ok_or(EngineError::UnknownFaultSet {
-                    index: q.fault_set,
-                    available: labels_per_set.len(),
-                })?;
-            let sl: CycleSpaceVertexLabel = self.store.vertex_label(q.s)?;
-            let tl: CycleSpaceVertexLabel = self.store.vertex_label(q.t)?;
-            stats.eliminations += 1;
-            let cert = self.naive.decode_with_certificate(&sl, &tl, labels);
-            results.push(QueryResult {
-                connected: cert.is_none(),
-                certificate: match cert {
-                    Some(idx) if self.config.collect_certificates => Some(
-                        idx.into_iter()
-                            .map(|i| req.fault_sets[q.fault_set][i])
-                            .collect(),
-                    ),
-                    _ => None,
-                },
-            });
-        }
-        Ok(BatchResponse { results, stats })
+        self.core.execute_naive(&self.store, req)
+    }
+}
+
+/// Wire-encodes every label of a cycle-space scheme into a frozen store
+/// (with the decoded sidecar).
+pub fn store_from_cycle_space(scheme: &CycleSpaceScheme, num_shards: usize) -> LabelStore {
+    store_from_cycle_space_for(scheme, num_shards, true)
+}
+
+fn store_from_cycle_space_for(
+    scheme: &CycleSpaceScheme,
+    num_shards: usize,
+    with_sidecar: bool,
+) -> LabelStore {
+    let mut builder = LabelStoreBuilder::new(num_shards);
+    for i in 0..scheme.num_vertices() {
+        let v = VertexId::new(i);
+        builder.put_vertex_label(v, &scheme.vertex_label(v));
+    }
+    for i in 0..scheme.num_edges() {
+        let e = EdgeId::new(i);
+        builder.put_edge_label(e, &scheme.edge_label(e));
+    }
+    if with_sidecar {
+        builder.freeze()
+    } else {
+        builder.freeze_wire_only()
     }
 }

@@ -27,15 +27,21 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod par;
 pub mod scenario;
 pub mod store;
 
 pub use batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
 pub use cache::LruCache;
 pub use engine::{
-    BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig, EngineError, QueryResult,
+    store_from_cycle_space, BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig,
+    EngineError, QueryResult,
 };
+pub use par::{ParEngine, WorkerStats};
 pub use scenario::{
-    run_scenario, FaultModel, RoundReport, ScenarioConfig, ScenarioReport, StretchStats,
+    percentile_nearest_rank, run_scenario, FaultModel, QueryEngine, RoundReport, ScenarioConfig,
+    ScenarioReport, StretchStats, WorkerSummary,
 };
-pub use store::{LabelStore, LabelStoreBuilder, Namespace, StoreError, StoreKey};
+pub use store::{
+    DecodedSidecar, LabelStore, LabelStoreBuilder, Namespace, SketchTreeEntry, StoreError, StoreKey,
+};

@@ -1,0 +1,226 @@
+//! `ParEngine`: N worker threads over one shared `Arc<LabelStore>`.
+//!
+//! The frozen store reads are pure `&self`, so the only per-thread state a
+//! worker needs is its own [`EngineCore`] — elimination cache, decode
+//! scratch, diff vector. A `ParEngine` owns one core per worker (**no
+//! shared mutable state, no locks**): each batch is split into contiguous
+//! query chunks, every worker serves its chunk against the shared store
+//! with its private cache, and the per-worker result vectors are merged
+//! back in request order.
+//!
+//! Per-worker caches mean a fault set referenced by several workers'
+//! chunks is eliminated once *per worker* rather than once globally — the
+//! deliberate trade for a lock-free serve path (elimination is the
+//! amortized cost; queries are the volume). Results are **bit-identical**
+//! to the serial [`Engine`] on the same request stream: every query's
+//! answer depends only on its canonical fault set and the frozen labels,
+//! never on which worker ran it.
+//!
+//! With the `parallel` feature off (or `num_workers == 1`) the workers run
+//! sequentially on the calling thread — same results, same per-worker
+//! bookkeeping, no threads.
+
+use crate::engine::{BatchRequest, BatchResponse, BatchStats, EngineConfig, EngineError};
+use crate::engine::{Engine, EngineCore, QueryResult};
+use crate::store::LabelStore;
+use ftl_cycle_space::CycleSpaceScheme;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one worker returns for its chunk: results, stats, busy time.
+type ChunkOutput = Result<(Vec<QueryResult>, BatchStats, u64), EngineError>;
+
+/// Cumulative per-worker serving counters.
+#[derive(Debug, Copy, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Queries this worker answered.
+    pub queries: u64,
+    /// Wall time this worker spent serving its chunks, nanoseconds.
+    pub busy_ns: u64,
+    /// Eliminations this worker ran.
+    pub eliminations: u64,
+    /// Fault sets this worker served from its cache.
+    pub cache_hits: u64,
+}
+
+/// The multi-worker engine. See the module docs.
+pub struct ParEngine {
+    store: Arc<LabelStore>,
+    config: EngineConfig,
+    cores: Vec<EngineCore>,
+    stats: Vec<WorkerStats>,
+}
+
+impl ParEngine {
+    /// Builds a `ParEngine` with `num_workers` workers (minimum 1) over a
+    /// shared frozen store.
+    pub fn new(store: Arc<LabelStore>, config: EngineConfig, num_workers: usize) -> Self {
+        let n = num_workers.max(1);
+        ParEngine {
+            store,
+            config,
+            cores: (0..n).map(|_| EngineCore::new(config)).collect(),
+            stats: (0..n)
+                .map(|worker| WorkerStats {
+                    worker,
+                    ..WorkerStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes a cycle-space scheme into a fresh store and stands the
+    /// multi-worker engine up over it. Like
+    /// [`Engine::from_cycle_space`], `use_sidecar = false` freezes the
+    /// store wire-only.
+    pub fn from_cycle_space(
+        scheme: &CycleSpaceScheme,
+        config: EngineConfig,
+        num_workers: usize,
+    ) -> Self {
+        let engine = Engine::from_cycle_space(scheme, config);
+        ParEngine::new(engine.shared_store(), config, num_workers)
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// A shared handle to the store.
+    pub fn shared_store(&self) -> Arc<LabelStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Cumulative per-worker counters since construction.
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.stats
+    }
+
+    /// A serial [`Engine`] over the same shared store and configuration —
+    /// the differential-verification partner.
+    pub fn serial_engine(&self) -> Engine {
+        Engine::with_shared(self.shared_store(), self.config)
+    }
+
+    /// Serves a batch across all workers: queries are split into
+    /// contiguous chunks, one per worker; results come back merged in
+    /// request order, with aggregate statistics. Bit-identical to the
+    /// serial [`Engine::execute`] on the same request.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::execute`]; the first worker error
+    /// (in worker order) is returned.
+    pub fn execute(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        let total = req.queries.len();
+        let workers = self.cores.len();
+        let chunk = total.div_ceil(workers.max(1)).max(1);
+        // (core, range) pairs; trailing workers may get empty ranges.
+        let jobs: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (chunk * w).min(total)..(chunk * (w + 1)).min(total))
+            .collect();
+        let store = &self.store;
+        let run_one = |core: &mut EngineCore, range: std::ops::Range<usize>| -> ChunkOutput {
+            let start = Instant::now();
+            let (results, stats) = core.execute_range(store, req, range)?;
+            Ok((results, stats, start.elapsed().as_nanos() as u64))
+        };
+        let outputs: Vec<ChunkOutput> = run_workers(&mut self.cores, &jobs, &run_one);
+        // Propagate the first worker error (in worker order) BEFORE
+        // committing anything to the cumulative per-worker stats — a batch
+        // that errors must not attribute its discarded results to workers.
+        let mut oks = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            oks.push(out?);
+        }
+        // Same failure modes as the serial engine: fault sets no query
+        // references still get resolved (and cached, on worker 0), so a
+        // request naming a missing edge is rejected by both engines even
+        // when the offending set is never queried.
+        let mut referenced = vec![false; req.fault_sets.len()];
+        for q in &req.queries {
+            if let Some(r) = referenced.get_mut(q.fault_set) {
+                *r = true;
+            }
+        }
+        let mut unreferenced_stats = BatchStats::default();
+        for (fs, _) in req.fault_sets.iter().zip(&referenced).filter(|(_, &r)| !r) {
+            self.cores[0].resolve_fault_set(&self.store, fs, &mut unreferenced_stats)?;
+        }
+        let mut merged = Vec::with_capacity(total);
+        let mut agg = BatchStats {
+            queries: total,
+            fault_sets: req.fault_sets.len(),
+            eliminations: unreferenced_stats.eliminations,
+            cache_hits: unreferenced_stats.cache_hits,
+        };
+        self.stats[0].eliminations += unreferenced_stats.eliminations as u64;
+        self.stats[0].cache_hits += unreferenced_stats.cache_hits as u64;
+        for (w, (results, stats, busy_ns)) in oks.into_iter().enumerate() {
+            self.stats[w].queries += results.len() as u64;
+            self.stats[w].busy_ns += busy_ns;
+            self.stats[w].eliminations += stats.eliminations as u64;
+            self.stats[w].cache_hits += stats.cache_hits as u64;
+            agg.eliminations += stats.eliminations;
+            agg.cache_hits += stats.cache_hits;
+            merged.extend(results);
+        }
+        Ok(BatchResponse {
+            results: merged,
+            stats: agg,
+        })
+    }
+}
+
+/// Runs one job per core — scoped threads under the `parallel` feature,
+/// a sequential loop otherwise (or for a single worker). Outputs come back
+/// in worker order either way.
+fn run_workers<F>(
+    cores: &mut [EngineCore],
+    jobs: &[std::ops::Range<usize>],
+    run_one: &F,
+) -> Vec<ChunkOutput>
+where
+    F: Fn(&mut EngineCore, std::ops::Range<usize>) -> ChunkOutput + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if cores.len() > 1 {
+            return std::thread::scope(|scope| {
+                let handles: Vec<_> = cores
+                    .iter_mut()
+                    .zip(jobs)
+                    .map(|(core, range)| {
+                        let range = range.clone();
+                        scope.spawn(move || run_one(core, range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(out) => out,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+        }
+    }
+    cores
+        .iter_mut()
+        .zip(jobs)
+        .map(|(core, range)| run_one(core, range.clone()))
+        .collect()
+}

@@ -4,7 +4,8 @@
 //! experiment loop, aimed at the engine instead of a bare decoder.
 
 use crate::batch::ConnQuery;
-use crate::engine::{BatchRequest, Engine, EngineError};
+use crate::engine::{BatchRequest, BatchResponse, Engine, EngineError};
+use crate::par::{ParEngine, WorkerStats};
 use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
 use ftl_graph::{EdgeId, Graph, VertexId};
 use ftl_routing::FtRoutingScheme;
@@ -12,6 +13,58 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// Anything the scenario driver can push batches through: the serial
+/// [`Engine`] or the multi-worker [`ParEngine`]. The driver builds the
+/// same request stream either way (it draws from its own RNG), so two runs
+/// with the same config differ only in who served them — which is exactly
+/// what the differential verification in the benches compares.
+pub trait QueryEngine {
+    /// Serves one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's batch failure.
+    fn run_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError>;
+
+    /// Cumulative per-worker counters (empty for single-worker engines
+    /// that do not track them).
+    fn worker_stats(&self) -> Vec<WorkerStats> {
+        Vec::new()
+    }
+}
+
+impl QueryEngine for Engine {
+    fn run_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        self.execute(req)
+    }
+}
+
+impl QueryEngine for ParEngine {
+    fn run_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        self.execute(req)
+    }
+
+    fn worker_stats(&self) -> Vec<WorkerStats> {
+        ParEngine::worker_stats(self).to_vec()
+    }
+}
+
+/// The nearest-rank percentile of an **ascending-sorted** sample array:
+/// the smallest sample with at least `⌈p·n⌉` samples at or below it
+/// (0 for an empty array; `p` is a fraction, e.g. `0.99`).
+///
+/// Nearest-rank never interpolates and never picks below the true rank —
+/// in particular `p = 0.99` over a handful of samples returns the maximum
+/// rather than silently truncating toward the median, which is how an
+/// earlier index formula reported a p99 *below* the mean.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
 
 /// How a round's fault sets are drawn.
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
@@ -86,6 +139,20 @@ pub struct RoundReport {
     pub mismatches: usize,
 }
 
+/// One worker's share of a scenario run (derived from the engine's
+/// cumulative [`WorkerStats`] delta across the run).
+#[derive(Debug, Clone)]
+pub struct WorkerSummary {
+    /// Worker index.
+    pub worker: usize,
+    /// Queries this worker served during the run.
+    pub queries: u64,
+    /// Wall time this worker spent serving, nanoseconds.
+    pub busy_ns: u64,
+    /// This worker's own serving rate over its busy time.
+    pub throughput_qps: f64,
+}
+
 /// Routed-stretch summary over the sampled pairs.
 #[derive(Debug, Clone)]
 pub struct StretchStats {
@@ -134,6 +201,9 @@ pub struct ScenarioReport {
     pub mismatches: usize,
     /// Routed stretch, when sampled.
     pub stretch: Option<StretchStats>,
+    /// Per-worker shares when the engine is multi-worker (empty for the
+    /// serial engine).
+    pub workers: Vec<WorkerSummary>,
 }
 
 impl ScenarioReport {
@@ -182,6 +252,18 @@ impl ScenarioReport {
                 st.samples, st.mean, st.max
             )),
         }
+        s.push_str("      \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{ \"worker\": {}, \"queries\": {}, \"busy_ns\": {}, \"throughput_qps\": {:.0} }}",
+                if i == 0 { "" } else { ", " },
+                w.worker,
+                w.queries,
+                w.busy_ns,
+                w.throughput_qps
+            ));
+        }
+        s.push_str("],\n");
         s.push_str("      \"rounds\": [\n");
         for (i, r) in self.rounds.iter().enumerate() {
             s.push_str(&format!(
@@ -289,7 +371,11 @@ fn variant_of(g: &Graph, base: &[EdgeId], rng: &mut StdRng) -> Vec<EdgeId> {
     }
 }
 
-/// Runs one scenario against an engine, returning the full report.
+/// Runs one scenario against an engine (serial [`Engine`] or multi-worker
+/// [`ParEngine`] — anything implementing [`QueryEngine`]), returning the
+/// full report. The request stream depends only on `cfg`, never on the
+/// engine, so serial and parallel runs of the same config see identical
+/// traffic.
 ///
 /// `routing` supplies the stretch measurements when
 /// [`ScenarioConfig::stretch_samples`] is non-zero; pass `None` to skip.
@@ -300,10 +386,11 @@ fn variant_of(g: &Graph, base: &[EdgeId], rng: &mut StdRng) -> Vec<EdgeId> {
 pub fn run_scenario(
     graph: &Graph,
     graph_name: &str,
-    engine: &mut Engine,
+    engine: &mut impl QueryEngine,
     routing: Option<&FtRoutingScheme>,
     cfg: &ScenarioConfig,
 ) -> Result<ScenarioReport, EngineError> {
+    let workers_before = engine.worker_stats();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut base = draw_faults(graph, cfg.f, cfg.model, &mut rng, &HashSet::new());
     let mut rounds = Vec::with_capacity(cfg.rounds);
@@ -346,7 +433,7 @@ pub fn run_scenario(
                 queries,
             };
             let start = Instant::now();
-            let resp = engine.execute(&req)?;
+            let resp = engine.run_batch(&req)?;
             let elapsed = start.elapsed().as_nanos() as u64;
             round_elapsed += elapsed;
             round_queries += resp.results.len();
@@ -395,13 +482,31 @@ pub fn run_scenario(
     }
 
     batch_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let pct = |p: f64| -> f64 {
-        if batch_latencies.is_empty() {
-            0.0
-        } else {
-            batch_latencies[((batch_latencies.len() - 1) as f64 * p) as usize]
-        }
-    };
+    let pct = |p: f64| percentile_nearest_rank(&batch_latencies, p);
+    // Per-worker shares: the delta of the engine's cumulative counters
+    // across this run.
+    let workers_after = engine.worker_stats();
+    let workers = workers_after
+        .iter()
+        .map(|after| {
+            let before = workers_before
+                .iter()
+                .find(|b| b.worker == after.worker)
+                .copied()
+                .unwrap_or(WorkerStats {
+                    worker: after.worker,
+                    ..WorkerStats::default()
+                });
+            let queries = after.queries - before.queries;
+            let busy_ns = after.busy_ns - before.busy_ns;
+            WorkerSummary {
+                worker: after.worker,
+                queries,
+                busy_ns,
+                throughput_qps: queries as f64 / (busy_ns.max(1) as f64 / 1e9),
+            }
+        })
+        .collect();
     Ok(ScenarioReport {
         name: cfg.name.clone(),
         graph: graph_name.to_string(),
@@ -424,6 +529,7 @@ pub fn run_scenario(
             mean: stretch_sum / stretch_samples as f64,
             max: stretch_max,
         }),
+        workers,
     })
 }
 
@@ -438,6 +544,56 @@ mod tests {
     fn engine_for(g: &Graph, f: usize) -> Engine {
         let scheme = CycleSpaceScheme::label(g, f, Seed::new(77)).unwrap();
         Engine::from_cycle_space(&scheme, EngineConfig::default())
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_on_known_distribution() {
+        // 1..=100: the nearest-rank pN of n=100 samples is exactly N.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_nearest_rank(&samples, 0.50), 50.0);
+        assert_eq!(percentile_nearest_rank(&samples, 0.99), 99.0);
+        assert_eq!(percentile_nearest_rank(&samples, 1.0), 100.0);
+        assert_eq!(percentile_nearest_rank(&samples, 0.001), 1.0);
+        assert_eq!(percentile_nearest_rank(&samples, 0.0), 1.0);
+        // Small arrays: p99 of six samples is the maximum — the old
+        // truncating index formula returned the 5th-smallest here, which
+        // is how a p99 below the mean got reported.
+        let six = [10.0, 11.0, 12.0, 13.0, 14.0, 500.0];
+        assert_eq!(percentile_nearest_rank(&six, 0.99), 500.0);
+        assert_eq!(percentile_nearest_rank(&six, 0.5), 12.0);
+        // p99 can no longer fall below the median for any sample array.
+        assert!(percentile_nearest_rank(&six, 0.99) >= percentile_nearest_rank(&six, 0.5));
+        assert_eq!(percentile_nearest_rank(&[], 0.99), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn parallel_scenario_reports_workers_and_matches_serial_reachability() {
+        use crate::par::ParEngine;
+        let g = generators::grid(4, 4);
+        let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(77)).unwrap();
+        let mut cfg = ScenarioConfig::new("par-uniform", 4);
+        cfg.rounds = 3;
+        cfg.fault_sets_per_round = 2;
+        cfg.queries_per_fault_set = 40;
+        cfg.verify = true;
+        let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 3);
+        let par_report = run_scenario(&g, "grid-4x4", &mut par, None, &cfg).unwrap();
+        let mut serial = par.serial_engine();
+        let serial_report = run_scenario(&g, "grid-4x4", &mut serial, None, &cfg).unwrap();
+        assert_eq!(par_report.mismatches, 0);
+        assert_eq!(serial_report.mismatches, 0);
+        // Identical traffic, identical aggregate reachability.
+        assert_eq!(
+            par_report.reachable_fraction,
+            serial_report.reachable_fraction
+        );
+        assert_eq!(par_report.workers.len(), 3);
+        let total: u64 = par_report.workers.iter().map(|w| w.queries).sum();
+        assert_eq!(total as usize, par_report.total_queries);
+        assert!(serial_report.workers.is_empty());
+        let json = par_report.to_json();
+        assert!(json.contains("\"workers\": [{ \"worker\": 0"));
     }
 
     #[test]

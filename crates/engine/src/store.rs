@@ -14,8 +14,13 @@
 //!
 //! [`freeze`]: LabelStoreBuilder::freeze
 
+use ftl_cycle_space::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
+use ftl_gf2::{BitMatrix, BitVec};
 use ftl_graph::{EdgeId, VertexId};
 use ftl_labels::wire::{WireError, WireLabel};
+use ftl_labels::AncestryLabel;
+use ftl_seeded::Seed;
+use ftl_sketch::{Sketch, SketchEdgeLabel, SketchParams, SketchVertexLabel};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -154,10 +159,28 @@ impl LabelStoreBuilder {
         self.put_bytes(StoreKey::edge(e), &label.to_wire());
     }
 
-    /// Seals the shards into an immutable, lock-free-readable store.
+    /// Seals the shards into an immutable, lock-free-readable store and
+    /// materializes the [`DecodedSidecar`]: every record the sidecar
+    /// understands is decoded **once, here**, so the serving hot path never
+    /// touches a `WireReader` again.
     pub fn freeze(self) -> LabelStore {
+        let sidecar = DecodedSidecar::build(&self.shards);
         LabelStore {
             shards: self.shards.into_boxed_slice(),
+            sidecar,
+        }
+    }
+
+    /// [`LabelStoreBuilder::freeze`] without the decoded sidecar: every
+    /// read goes through wire decoding. For memory-constrained stores —
+    /// and for engines pinned to the wire path
+    /// (`EngineConfig::use_sidecar = false`), which would otherwise pay
+    /// the sidecar's build time and resident bytes without ever reading
+    /// it.
+    pub fn freeze_wire_only(self) -> LabelStore {
+        LabelStore {
+            shards: self.shards.into_boxed_slice(),
+            sidecar: DecodedSidecar::default(),
         }
     }
 }
@@ -167,6 +190,7 @@ impl LabelStoreBuilder {
 #[derive(Debug)]
 pub struct LabelStore {
     shards: Box<[Shard]>,
+    sidecar: DecodedSidecar,
 }
 
 impl LabelStore {
@@ -215,6 +239,317 @@ impl LabelStore {
     /// Decodes the edge record of `e` as an `L`.
     pub fn edge_label<L: WireLabel>(&self, e: EdgeId) -> Result<L, StoreError> {
         self.get_label(StoreKey::edge(e))
+    }
+
+    /// The decoded-label sidecar materialized at freeze time — the
+    /// zero-decode serving surface. Like the shards it is immutable, so it
+    /// shares the store's lock-free `&self` read story.
+    pub fn sidecar(&self) -> &DecodedSidecar {
+        &self.sidecar
+    }
+}
+
+/// Decoded subtree-sketch material of one tree edge (sketch-scheme
+/// stores).
+#[derive(Debug, Clone)]
+pub struct SketchTreeEntry {
+    /// `Sketch_G(V(T_c))` for the child endpoint `c`.
+    pub sketch: Sketch,
+    /// The identifier seed `S_ID`.
+    pub sid: Seed,
+    /// The sampling seed `S_h`.
+    pub sh: Seed,
+}
+
+/// Per-vertex / per-edge label artifacts decoded **once at freeze time**
+/// into contiguous arena-backed arrays, so the serving hot path is index
+/// lookups + ancestry compares + parity tests with no `WireReader` in
+/// sight:
+///
+/// * **ancestry intervals** — `anc(v)` for every vertex record
+///   (cycle-space, sketch, or bare ancestry labels all carry one);
+/// * **`φ` column bank** — one [`BitMatrix`] row per edge id for
+///   cycle-space edge labels, plus the precomputed child interval of every
+///   tree edge (what the per-query `D(s, t)` sweep needs);
+/// * **sketch banks** — the subtree-sketch cell banks of tree edges in
+///   sketch-scheme stores, one contiguous slot per edge.
+///
+/// Records the sidecar cannot place (unknown kinds, decode failures,
+/// wildly sparse id spaces, mixed `φ` widths) simply stay wire-only: every
+/// accessor returns `Option`/`bool` and the engine falls back to the
+/// store's decoding read path for them.
+#[derive(Debug, Default)]
+pub struct DecodedSidecar {
+    /// Ancestry interval per vertex id; aligned with `vertex_present`.
+    vertex_anc: Vec<AncestryLabel>,
+    vertex_present: Vec<bool>,
+    /// `φ(e)` columns, one row per edge id (zero rows where absent).
+    phi: BitMatrix,
+    /// Child ancestry interval per tree edge; `(1, 0)` (an impossible
+    /// interval) where the edge is absent or non-tree.
+    edge_child: Vec<(u32, u32)>,
+    edge_present: Vec<bool>,
+    /// Tree-edge subtree sketches: slot index per edge id
+    /// (`u32::MAX` = none) into `sketch_bank`.
+    sketch_slot: Vec<u32>,
+    sketch_params: Option<SketchParams>,
+    /// `(S_ID, S_h)` per slot, aligned with the bank.
+    sketch_seeds: Vec<(Seed, Seed)>,
+    /// Contiguous cell banks, `units × levels` rows per slot.
+    sketch_bank: BitMatrix,
+}
+
+/// Decodes a record as `L` if its kind byte says so; `None` on any
+/// mismatch or decode failure (the record stays wire-only).
+fn decode_as<L: WireLabel>(bytes: &[u8]) -> Option<L> {
+    if bytes.len() < ftl_labels::wire::HEADER_BYTES || bytes[3] != L::KIND as u8 {
+        return None;
+    }
+    L::from_wire(bytes).ok()
+}
+
+/// Dense-array guard: materializing by id only pays off when the id space
+/// is reasonably dense; a store keyed by sparse huge ids keeps its records
+/// wire-only rather than allocating gigabytes of absent slots.
+fn dense_enough(max_id: usize, count: usize) -> bool {
+    max_id < 4 * count + 1024
+}
+
+impl DecodedSidecar {
+    /// Decodes everything it can out of the frozen shards. Called from
+    /// [`LabelStoreBuilder::freeze`].
+    fn build(shards: &[Shard]) -> DecodedSidecar {
+        let mut vertices: Vec<(u32, AncestryLabel)> = Vec::new();
+        let mut cyc_edges: Vec<(u32, CycleSpaceEdgeLabel)> = Vec::new();
+        let mut sk_edges: Vec<(u32, SketchEdgeLabel)> = Vec::new();
+        for shard in shards {
+            for (&key, &(start, len)) in &shard.index {
+                let bytes = &shard.bytes[start as usize..(start + len) as usize];
+                match key.ns {
+                    Namespace::Vertex => {
+                        let anc = decode_as::<CycleSpaceVertexLabel>(bytes)
+                            .map(|l| l.anc)
+                            .or_else(|| decode_as::<SketchVertexLabel>(bytes).map(|l| l.anc))
+                            .or_else(|| decode_as::<AncestryLabel>(bytes));
+                        if let Some(anc) = anc {
+                            vertices.push((key.id, anc));
+                        }
+                    }
+                    Namespace::Edge => {
+                        if let Some(l) = decode_as::<CycleSpaceEdgeLabel>(bytes) {
+                            cyc_edges.push((key.id, l));
+                        } else if let Some(l) = decode_as::<SketchEdgeLabel>(bytes) {
+                            sk_edges.push((key.id, l));
+                        }
+                    }
+                }
+            }
+        }
+        let mut sidecar = DecodedSidecar::default();
+        sidecar.place_vertices(vertices);
+        sidecar.place_cycle_edges(cyc_edges);
+        sidecar.place_sketch_edges(sk_edges);
+        sidecar
+    }
+
+    fn place_vertices(&mut self, vertices: Vec<(u32, AncestryLabel)>) {
+        let Some(max_id) = vertices.iter().map(|&(id, _)| id as usize).max() else {
+            return;
+        };
+        if !dense_enough(max_id, vertices.len()) {
+            return;
+        }
+        self.vertex_anc = vec![AncestryLabel { pre: 0, post: 0 }; max_id + 1];
+        self.vertex_present = vec![false; max_id + 1];
+        for (id, anc) in vertices {
+            self.vertex_anc[id as usize] = anc;
+            self.vertex_present[id as usize] = true;
+        }
+    }
+
+    fn place_cycle_edges(&mut self, edges: Vec<(u32, CycleSpaceEdgeLabel)>) {
+        let Some(max_id) = edges.iter().map(|&(id, _)| id as usize).max() else {
+            return;
+        };
+        if !dense_enough(max_id, edges.len()) {
+            return;
+        }
+        let b = edges[0].1.phi.len();
+        if edges.iter().any(|(_, l)| l.phi.len() != b) {
+            // Mixed φ widths cannot share one column bank; leave these
+            // records wire-only rather than serve a partial bank.
+            return;
+        }
+        self.phi = BitMatrix::with_rows(max_id + 1, b);
+        self.edge_child = vec![(1, 0); max_id + 1];
+        self.edge_present = vec![false; max_id + 1];
+        for (id, l) in edges {
+            self.phi.xor_bitvec_into_row(id as usize, &l.phi);
+            if let Some(interval) = tree_child_interval_of(&l) {
+                self.edge_child[id as usize] = interval;
+            }
+            self.edge_present[id as usize] = true;
+        }
+    }
+
+    fn place_sketch_edges(&mut self, edges: Vec<(u32, SketchEdgeLabel)>) {
+        let tree: Vec<(u32, _)> = edges
+            .into_iter()
+            .filter_map(|(id, l)| l.tree.map(|info| (id, info)))
+            .collect();
+        let Some(max_id) = tree.iter().map(|&(id, _)| id as usize).max() else {
+            return;
+        };
+        if !dense_enough(max_id, tree.len()) {
+            return;
+        }
+        let params = tree[0].1.params;
+        if tree.iter().any(|(_, info)| info.params != params) {
+            return; // mixed shapes cannot share one bank
+        }
+        self.sketch_params = Some(params);
+        self.sketch_slot = vec![u32::MAX; max_id + 1];
+        self.sketch_bank = BitMatrix::with_capacity(
+            tree.len() * params.units * params.levels as usize,
+            params.cell_bits(),
+        );
+        let mut row = BitVec::zeros(0);
+        for (slot, (id, info)) in tree.into_iter().enumerate() {
+            self.sketch_slot[id as usize] = slot as u32;
+            self.sketch_seeds.push((info.sid, info.sh));
+            let cells = info.sketch_subtree.cells();
+            for r in 0..cells.num_rows() {
+                cells.read_row_into(r, &mut row);
+                self.sketch_bank.push_row(&row);
+            }
+        }
+    }
+
+    /// The decoded ancestry interval of vertex `v`, if its record made it
+    /// into the sidecar.
+    #[inline]
+    pub fn vertex_anc(&self, v: VertexId) -> Option<AncestryLabel> {
+        let i = v.index();
+        if *self.vertex_present.get(i)? {
+            Some(self.vertex_anc[i])
+        } else {
+            None
+        }
+    }
+
+    /// Width of the `φ` column bank in bits (0 when the bank is empty).
+    pub fn phi_width(&self) -> usize {
+        self.phi.num_cols()
+    }
+
+    /// Whether edge `e` has a decoded cycle-space record.
+    #[inline]
+    pub fn has_edge(&self, e: EdgeId) -> bool {
+        self.edge_present.get(e.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether **every** id in `ids` has a decoded cycle-space record —
+    /// the gate for the zero-decode elimination path.
+    pub fn covers_edges(&self, ids: &[EdgeId]) -> bool {
+        ids.iter().all(|&e| self.has_edge(e))
+    }
+
+    /// Copies `φ(e)` out of the column bank into `out` (reusing its
+    /// allocation). Returns `false` when `e` has no decoded record.
+    #[inline]
+    pub fn read_phi_into(&self, e: EdgeId, out: &mut BitVec) -> bool {
+        if !self.has_edge(e) {
+            return false;
+        }
+        self.phi.read_row_into(e.index(), out);
+        true
+    }
+
+    /// The precomputed child ancestry interval of `e` when it is a decoded
+    /// **tree** edge (see `EliminatedFaultSet`'s per-query sweep).
+    #[inline]
+    pub fn tree_child_interval(&self, e: EdgeId) -> Option<(u32, u32)> {
+        let &(pre, post) = self.edge_child.get(e.index())?;
+        (pre <= post && self.has_edge(e)).then_some((pre, post))
+    }
+
+    /// Materializes a decode-equivalent [`CycleSpaceEdgeLabel`] from the
+    /// banks: `φ` is bit-exact; the endpoint ancestry pair is collapsed to
+    /// the child interval (both endpoints set to it), which preserves
+    /// `on_root_path_of` for every query — the only thing decoders consult
+    /// — without storing both endpoint intervals. Not wire-identical;
+    /// strictly for serving paths.
+    pub fn materialize_edge_label(&self, e: EdgeId) -> Option<CycleSpaceEdgeLabel> {
+        if !self.has_edge(e) {
+            return None;
+        }
+        let (is_tree, anc) = match self.tree_child_interval(e) {
+            Some((pre, post)) => (true, AncestryLabel { pre, post }),
+            None => (false, AncestryLabel { pre: 0, post: 0 }),
+        };
+        Some(CycleSpaceEdgeLabel {
+            phi: self.phi.row_to_bitvec(e.index()),
+            anc_u: anc,
+            anc_v: anc,
+            is_tree,
+        })
+    }
+
+    /// The decoded subtree-sketch entry of tree edge `e` in a sketch-scheme
+    /// store. The sketch is copied out of the contiguous bank — no wire
+    /// decoding.
+    pub fn sketch_tree(&self, e: EdgeId) -> Option<SketchTreeEntry> {
+        let slot = *self.sketch_slot.get(e.index())?;
+        if slot == u32::MAX {
+            return None;
+        }
+        let params = self.sketch_params?;
+        let rows = params.units * params.levels as usize;
+        let (sid, sh) = self.sketch_seeds[slot as usize];
+        Some(SketchTreeEntry {
+            sketch: Sketch::from_cells(
+                params,
+                self.sketch_bank.clone_row_range(slot as usize * rows, rows),
+            ),
+            sid,
+            sh,
+        })
+    }
+
+    /// Number of vertices with decoded records.
+    pub fn decoded_vertices(&self) -> usize {
+        self.vertex_present.iter().filter(|&&p| p).count()
+    }
+
+    /// Number of edges with decoded cycle-space records.
+    pub fn decoded_edges(&self) -> usize {
+        self.edge_present.iter().filter(|&&p| p).count()
+    }
+
+    /// Number of tree edges with decoded sketch banks.
+    pub fn decoded_sketch_edges(&self) -> usize {
+        self.sketch_seeds.len()
+    }
+}
+
+/// The ancestry interval of the *deeper* endpoint of a tree edge — all the
+/// per-query material a fault contributes. A tree edge lies on the
+/// root–`x` path iff **both** endpoints are ancestors of `x`, and the
+/// endpoint intervals of a tree edge nest, so that collapses to one
+/// containment test against the child's interval. Non-tree edges (and the
+/// impossible case of disjoint endpoint intervals, which no genuine tree
+/// edge produces) yield `None`, matching `on_root_path_of` returning
+/// `false` everywhere.
+pub(crate) fn tree_child_interval_of(l: &CycleSpaceEdgeLabel) -> Option<(u32, u32)> {
+    if !l.is_tree {
+        return None;
+    }
+    if l.anc_u.is_ancestor_of(&l.anc_v) {
+        Some((l.anc_v.pre, l.anc_v.post))
+    } else if l.anc_v.is_ancestor_of(&l.anc_u) {
+        Some((l.anc_u.pre, l.anc_u.post))
+    } else {
+        None
     }
 }
 
@@ -300,6 +635,102 @@ mod tests {
             store.vertex_label::<AncestryLabel>(VertexId::new(0)),
             Err(StoreError::Wire(WireError::BadMagic))
         ));
+        // The corrupt record also stays out of the sidecar: wire-only, and
+        // the error above is what readers see.
+        assert_eq!(store.sidecar().decoded_vertices(), 0);
+        assert!(store.sidecar().vertex_anc(VertexId::new(0)).is_none());
+    }
+
+    #[test]
+    fn sidecar_matches_wire_decoding_for_cycle_space_store() {
+        use ftl_cycle_space::{CycleSpaceScheme, CycleSpaceVertexLabel};
+        use ftl_seeded::Seed;
+        let g = ftl_graph::generators::grid(4, 4);
+        let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(5)).unwrap();
+        let store = crate::engine::store_from_cycle_space(&scheme, 4);
+        let sidecar = store.sidecar();
+        assert_eq!(sidecar.decoded_vertices(), g.num_vertices());
+        assert_eq!(sidecar.decoded_edges(), g.num_edges());
+        let mut phi = BitVec::zeros(0);
+        for i in 0..g.num_vertices() {
+            let v = VertexId::new(i);
+            let wire: CycleSpaceVertexLabel = store.vertex_label(v).unwrap();
+            assert_eq!(sidecar.vertex_anc(v), Some(wire.anc), "vertex {i}");
+        }
+        for i in 0..g.num_edges() {
+            let e = EdgeId::new(i);
+            let wire = scheme.edge_label(e);
+            assert!(sidecar.has_edge(e));
+            assert!(sidecar.read_phi_into(e, &mut phi));
+            assert_eq!(phi, wire.phi, "phi of edge {i}");
+            // The child interval reproduces on_root_path_of for every
+            // vertex in the graph.
+            for x in 0..g.num_vertices() {
+                let anc = scheme.vertex_label(VertexId::new(x)).anc;
+                let by_interval = sidecar
+                    .tree_child_interval(e)
+                    .is_some_and(|(pre, post)| pre <= anc.pre && anc.post <= post);
+                assert_eq!(by_interval, wire.on_root_path_of(&anc), "edge {i} vs {x}");
+            }
+            // And so does the materialized decode-equivalent label.
+            let mat = sidecar.materialize_edge_label(e).unwrap();
+            assert_eq!(mat.phi, wire.phi);
+            assert_eq!(mat.is_tree, wire.is_tree);
+            for x in 0..g.num_vertices() {
+                let anc = scheme.vertex_label(VertexId::new(x)).anc;
+                assert_eq!(mat.on_root_path_of(&anc), wire.on_root_path_of(&anc));
+            }
+        }
+    }
+
+    #[test]
+    fn sidecar_decodes_sketch_store_banks() {
+        use ftl_seeded::Seed;
+        use ftl_sketch::{SketchParams, SketchScheme};
+        let g = ftl_graph::generators::grid(3, 3);
+        let params = SketchParams::for_graph(&g);
+        let scheme = SketchScheme::label(&g, &params, Seed::new(9)).unwrap();
+        let mut b = LabelStoreBuilder::new(2);
+        for i in 0..g.num_vertices() {
+            let v = VertexId::new(i);
+            b.put_vertex_label(v, &scheme.vertex_label(v));
+        }
+        for i in 0..g.num_edges() {
+            let e = EdgeId::new(i);
+            b.put_edge_label(e, &scheme.edge_label(e));
+        }
+        let store = b.freeze();
+        let sidecar = store.sidecar();
+        // Sketch vertex labels carry ancestry intervals too.
+        assert_eq!(sidecar.decoded_vertices(), g.num_vertices());
+        assert_eq!(sidecar.decoded_sketch_edges(), g.num_vertices() - 1);
+        for i in 0..g.num_edges() {
+            let e = EdgeId::new(i);
+            let label = scheme.edge_label(e);
+            match label.tree {
+                None => assert!(sidecar.sketch_tree(e).is_none()),
+                Some(info) => {
+                    let entry = sidecar.sketch_tree(e).expect("tree edge bank");
+                    assert_eq!(entry.sketch, info.sketch_subtree, "edge {i}");
+                    assert_eq!(entry.sid, info.sid);
+                    assert_eq!(entry.sh, info.sh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_id_space_stays_wire_only() {
+        let mut b = LabelStoreBuilder::new(1);
+        // Two vertices, ids 3 and 900_000: far too sparse for dense arrays.
+        b.put_vertex_label(VertexId::new(3), &anc(1, 2));
+        b.put_vertex_label(VertexId::new(900_000), &anc(3, 4));
+        let store = b.freeze();
+        assert_eq!(store.sidecar().decoded_vertices(), 0);
+        // Reads still work through the wire path.
+        assert!(store
+            .vertex_label::<AncestryLabel>(VertexId::new(900_000))
+            .is_ok());
     }
 
     #[test]

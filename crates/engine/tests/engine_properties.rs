@@ -245,3 +245,210 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// PR 5: zero-decode sidecar and the multi-worker engine.
+// ---------------------------------------------------------------------
+
+/// The zero-decode sidecar path and the wire-decoding path must be
+/// bit-identical — results *and* certificates.
+#[test]
+fn sidecar_and_wire_paths_agree() {
+    let g = generators::grid(5, 5);
+    let scheme = CycleSpaceScheme::label(&g, 6, Seed::new(31)).unwrap();
+    let mut with_sidecar = Engine::from_cycle_space(
+        &scheme,
+        EngineConfig {
+            collect_certificates: true,
+            ..EngineConfig::default()
+        },
+    );
+    let mut wire_only = Engine::from_cycle_space(
+        &scheme,
+        EngineConfig {
+            collect_certificates: true,
+            use_sidecar: false,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0x51DE);
+    for trial in 0..6 {
+        let fault_sets = random_fault_sets(&g, 3, 6, &mut rng);
+        let queries = random_queries(&g, 100, fault_sets.len(), &mut rng);
+        let req = BatchRequest {
+            fault_sets,
+            queries,
+        };
+        let a = with_sidecar.execute(&req).unwrap();
+        let b = wire_only.execute(&req).unwrap();
+        assert_eq!(a.results, b.results, "trial {trial}");
+        let an = with_sidecar.execute_naive(&req).unwrap();
+        let bn = wire_only.execute_naive(&req).unwrap();
+        assert_eq!(an.results, bn.results, "naive trial {trial}");
+        // Batched certificates come back in canonical (sorted) fault order,
+        // naive ones in request order — compare them as sets, and the
+        // connectivity verdicts exactly.
+        for (qa, qn) in a.results.iter().zip(&an.results) {
+            assert_eq!(qa.connected, qn.connected, "batched vs naive trial {trial}");
+            match (&qa.certificate, &qn.certificate) {
+                (None, None) => {}
+                (Some(ca), Some(cn)) => {
+                    let mut ca = ca.clone();
+                    let mut cn = cn.clone();
+                    ca.sort();
+                    cn.sort();
+                    assert_eq!(ca, cn, "certificate sets trial {trial}");
+                }
+                other => panic!("certificate presence mismatch: {other:?}"),
+            }
+        }
+    }
+    // The sidecar really decoded the whole store.
+    assert_eq!(
+        with_sidecar.store().sidecar().decoded_vertices(),
+        g.num_vertices()
+    );
+    assert_eq!(
+        with_sidecar.store().sidecar().decoded_edges(),
+        g.num_edges()
+    );
+}
+
+/// `ParEngine` must return bit-identical results to the serial engine on
+/// the same request stream — across batches, so per-worker caches are
+/// warm and cold at different times.
+#[test]
+fn par_engine_matches_serial_engine() {
+    use ftl_engine::ParEngine;
+    let g = generators::grid(5, 4);
+    let scheme = CycleSpaceScheme::label(&g, 5, Seed::new(77)).unwrap();
+    for workers in [1usize, 2, 3, 7] {
+        let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), workers);
+        let mut serial = par.serial_engine();
+        let mut rng = StdRng::seed_from_u64(0xBA5E + workers as u64);
+        for batch in 0..5 {
+            let fault_sets = random_fault_sets(&g, 3, 5, &mut rng);
+            let queries = random_queries(&g, 64 + batch * 17, fault_sets.len(), &mut rng);
+            let req = BatchRequest {
+                fault_sets,
+                queries,
+            };
+            let p = par.execute(&req).unwrap();
+            let s = serial.execute(&req).unwrap();
+            assert_eq!(p.results, s.results, "workers {workers} batch {batch}");
+            assert_eq!(p.stats.queries, s.stats.queries);
+            assert_eq!(p.stats.fault_sets, s.stats.fault_sets);
+        }
+        let stats = par.worker_stats();
+        assert_eq!(stats.len(), workers);
+        let total: u64 = stats.iter().map(|w| w.queries).sum();
+        assert_eq!(total, (0..5).map(|b| 64 + b * 17).sum::<usize>() as u64);
+    }
+}
+
+/// M plain threads hammering one frozen `Arc<LabelStore>` — each with its
+/// own serving core — must all reproduce the serial engine's answers.
+/// This is the lock-free-reads contract of the store, exercised with real
+/// threads regardless of the `parallel` feature.
+#[test]
+fn threads_sharing_one_frozen_store_agree_with_serial() {
+    use std::sync::Arc;
+    let g = generators::grid(4, 5);
+    let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(12)).unwrap();
+    let mut reference = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let store = reference.shared_store();
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    let fault_sets = random_fault_sets(&g, 4, 4, &mut rng);
+    let queries = random_queries(&g, 200, fault_sets.len(), &mut rng);
+    let req = Arc::new(BatchRequest {
+        fault_sets,
+        queries,
+    });
+    let expected = Arc::new(reference.execute(&req).unwrap().results);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let req = Arc::clone(&req);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut engine = Engine::with_shared(store, EngineConfig::default());
+                for _ in 0..3 {
+                    let resp = engine.execute(&req).unwrap();
+                    assert_eq!(resp.results, *expected);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+}
+
+/// A fault set naming a missing edge must be rejected by BOTH engines
+/// even when no query references it (ParEngine resolves unreferenced
+/// sets for validation parity with the serial engine).
+#[test]
+fn unreferenced_bad_fault_set_rejected_by_both_engines() {
+    use ftl_engine::ParEngine;
+    let g = generators::grid(3, 3);
+    let scheme = CycleSpaceScheme::label(&g, 3, Seed::new(4)).unwrap();
+    let req = BatchRequest {
+        fault_sets: vec![vec![EdgeId::new(0)], vec![EdgeId::new(999_999)]],
+        queries: vec![ConnQuery {
+            s: VertexId::new(0),
+            t: VertexId::new(8),
+            fault_set: 0, // the bad set (index 1) is never referenced
+        }],
+    };
+    let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let serial_err = serial.execute(&req).unwrap_err();
+    assert!(matches!(
+        serial_err,
+        EngineError::Store(StoreError::Missing(_))
+    ));
+    let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 2);
+    assert_eq!(par.execute(&req).unwrap_err(), serial_err);
+}
+
+/// `freeze_wire_only` skips the sidecar entirely; a wire-path engine over
+/// it answers identically to a sidecar engine over the same labels.
+#[test]
+fn wire_only_freeze_serves_identically_without_sidecar() {
+    use ftl_engine::{LabelStoreBuilder, StoreKey};
+    let g = generators::grid(4, 4);
+    let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(6)).unwrap();
+    let mut builder = LabelStoreBuilder::new(4);
+    for i in 0..g.num_vertices() {
+        let v = VertexId::new(i);
+        builder.put_vertex_label(v, &scheme.vertex_label(v));
+    }
+    for i in 0..g.num_edges() {
+        let e = EdgeId::new(i);
+        builder.put_edge_label(e, &scheme.edge_label(e));
+    }
+    let store = builder.freeze_wire_only();
+    assert_eq!(store.sidecar().decoded_vertices(), 0);
+    assert_eq!(store.sidecar().decoded_edges(), 0);
+    assert!(store
+        .get_bytes(StoreKey::vertex(VertexId::new(0)))
+        .is_some());
+    let mut wire_engine = Engine::new(
+        store,
+        EngineConfig {
+            use_sidecar: false,
+            ..EngineConfig::default()
+        },
+    );
+    let mut sidecar_engine = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    let fault_sets = random_fault_sets(&g, 2, 4, &mut rng);
+    let queries = random_queries(&g, 80, fault_sets.len(), &mut rng);
+    let req = BatchRequest {
+        fault_sets,
+        queries,
+    };
+    assert_eq!(
+        wire_engine.execute(&req).unwrap().results,
+        sidecar_engine.execute(&req).unwrap().results
+    );
+}

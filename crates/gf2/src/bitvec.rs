@@ -332,6 +332,15 @@ impl BitVec {
         &self.words
     }
 
+    /// Raw words, mutably — for word-aligned serializers that assemble a
+    /// vector whole words at a time instead of bit by bit. Bits at
+    /// positions `>= len()` must stay zero; callers whose length is not a
+    /// multiple of 64 must mask the tail word themselves.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Fills the vector with random bits from the supplied word source.
     pub fn randomize(&mut self, mut next_word: impl FnMut() -> u64) {
         for w in self.words.iter_mut() {
@@ -394,6 +403,13 @@ pub struct BitMatrix {
     words: Vec<u64>,
 }
 
+impl Default for BitMatrix {
+    /// An empty zero-column matrix.
+    fn default() -> Self {
+        BitMatrix::new(0)
+    }
+}
+
 impl BitMatrix {
     /// An empty matrix whose rows will be `cols` bits wide.
     pub fn new(cols: usize) -> Self {
@@ -431,6 +447,29 @@ impl BitMatrix {
     #[inline]
     pub fn num_rows(&self) -> usize {
         self.rows
+    }
+
+    /// Words per row (`num_cols().div_ceil(64)`), the stride of the backing
+    /// word bank.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// The whole backing word bank, row-major (row `i` occupies words
+    /// `i * words_per_row() ..`). Bits past `num_cols()` in each row's last
+    /// word are zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The backing word bank, mutably — for sweeps that XOR patterns into
+    /// many rows with the borrow taken once. Callers must keep each row's
+    /// tail bits (past `num_cols()`) zero.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Bits per row.
@@ -536,11 +575,45 @@ impl BitMatrix {
         xor_words(&mut self.words[i * self.wpr..(i + 1) * self.wpr], v.words());
     }
 
+    /// XORs one word pattern into `count` **consecutive** rows starting at
+    /// `first` — the sketch toggle sweep, which XORs an edge identifier
+    /// into levels `0..=lvl` of a unit, all adjacent in the row bank. One
+    /// bounds check covers the whole run, versus one per row through
+    /// [`BitMatrix::xor_bitvec_into_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is not exactly one row's worth of words or the
+    /// row range is out of bounds.
+    #[inline]
+    pub fn xor_pattern_into_rows(&mut self, first: usize, count: usize, pattern: &[u64]) {
+        assert_eq!(pattern.len(), self.wpr, "pattern width mismatch");
+        let start = first * self.wpr;
+        let run = &mut self.words[start..start + count * self.wpr];
+        for row in run.chunks_exact_mut(self.wpr) {
+            for (d, &p) in row.iter_mut().zip(pattern) {
+                *d ^= p;
+            }
+        }
+    }
+
     /// `out ^= row[i]` — the word-parallel reduction step of the basis.
     #[inline]
     pub fn xor_row_into_bitvec(&self, i: usize, out: &mut BitVec) {
         assert_eq!(out.len(), self.cols, "row width mismatch");
         out.xor_assign_words(self.row(i));
+    }
+
+    /// A new matrix holding copies of rows `first .. first + count` — how
+    /// a decoded sketch is materialized out of a contiguous multi-sketch
+    /// cell bank (e.g. the engine store's subtree-sketch sidecar).
+    pub fn clone_row_range(&self, first: usize, count: usize) -> BitMatrix {
+        BitMatrix {
+            cols: self.cols,
+            wpr: self.wpr,
+            rows: count,
+            words: self.words[first * self.wpr..(first + count) * self.wpr].to_vec(),
+        }
     }
 
     /// XORs another matrix of identical shape into this one, across all
@@ -587,6 +660,68 @@ impl fmt::Debug for BitMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn words_mut_word_aligned_writes_match_bit_writes() {
+        let mut by_bits = BitVec::zeros(128);
+        let word = 0xDEAD_BEEF_0BAD_F00Du64;
+        for i in 0..64 {
+            if (word >> i) & 1 == 1 {
+                by_bits.set(64 + i, true);
+            }
+        }
+        let mut by_words = BitVec::zeros(128);
+        by_words.words_mut()[1] = word;
+        assert_eq!(by_bits, by_words);
+        assert_eq!(by_words.words()[1], word);
+    }
+
+    #[test]
+    fn xor_pattern_into_rows_matches_per_row_xor() {
+        let cols = 130; // three words per row, masked tail
+        let mut pattern = BitVec::zeros(cols);
+        pattern.set(0, true);
+        pattern.set(65, true);
+        pattern.set(129, true);
+        let mut a = BitMatrix::with_rows(8, cols);
+        let mut b = BitMatrix::with_rows(8, cols);
+        // Pre-fill with distinct junk so the XOR is non-trivial.
+        for i in 0..8 {
+            a.set(i, i % cols, true);
+            b.set(i, i % cols, true);
+        }
+        a.xor_pattern_into_rows(2, 4, pattern.words());
+        for i in 2..6 {
+            b.xor_bitvec_into_row(i, &pattern);
+        }
+        assert_eq!(a, b);
+        // Zero-count run is a no-op.
+        let before = a.clone();
+        a.xor_pattern_into_rows(0, 0, pattern.words());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn clone_row_range_copies_rows() {
+        let mut m = BitMatrix::with_rows(6, 70);
+        for i in 0..6 {
+            m.set(i, i * 11, true);
+        }
+        let sub = m.clone_row_range(1, 3);
+        assert_eq!(sub.num_rows(), 3);
+        assert_eq!(sub.num_cols(), 70);
+        for i in 0..3 {
+            assert_eq!(sub.row_to_bitvec(i), m.row_to_bitvec(i + 1));
+        }
+        assert_eq!(m.clone_row_range(2, 0).num_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_pattern_wrong_width_panics() {
+        let mut m = BitMatrix::with_rows(4, 64);
+        m.xor_pattern_into_rows(0, 2, &[0, 0]); // two words, rows hold one
+    }
 
     #[test]
     fn zeros_and_set_get() {

@@ -166,6 +166,53 @@ pub fn connected_random(n: usize, p: f64, max_w: u64, rng: &mut impl Rng) -> Gra
     b.build()
 }
 
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `m_attach + 1` seed vertices, then every new vertex attaches `m_attach`
+/// edges to existing vertices sampled proportionally to their degree (via
+/// the endpoint-list trick: picking a uniform endpoint of a uniform
+/// existing edge is exactly degree-proportional sampling). Always
+/// connected; matches the scale-free topology the DRFE-R experiments use
+/// for their 1k–5k-node tables.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m_attach > 0, "attachment count must be positive");
+    assert!(
+        n > m_attach,
+        "need more vertices than attachments per vertex"
+    );
+    let seed_n = m_attach + 1;
+    let mut b = GraphBuilder::new(n);
+    // Flat endpoint list: every edge contributes both endpoints, so a
+    // uniform draw from it is a degree-proportional vertex draw.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * m_attach * n);
+    for i in 0..seed_n {
+        for j in i + 1..seed_n {
+            b.add_unit_edge(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(m_attach);
+    for v in seed_n..n {
+        targets.clear();
+        while targets.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_unit_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
 /// The stretch lower-bound gadget of Theorem 1.6 / Figure 4: `f + 1`
 /// internally disjoint `s`–`t` paths, each with `len` edges.
 ///
@@ -313,6 +360,38 @@ mod tests {
         assert_eq!(g0.num_edges(), 0);
         let g1 = erdos_renyi(10, 1.0, &mut rng);
         assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn barabasi_albert_shape_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, m_attach) = (200, 3);
+        let g = barabasi_albert(n, m_attach, &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        // seed clique edges + m_attach per later vertex
+        let seed_edges = (m_attach + 1) * m_attach / 2;
+        assert_eq!(g.num_edges(), seed_edges + (n - m_attach - 1) * m_attach);
+        assert!(is_connected(&g));
+        // Preferential attachment is heavy-tailed: the max degree must be
+        // well above the mean (2m/n ≈ 6); a uniform wiring of the same size
+        // stays close to it.
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 3 * m_attach, "max degree {max_deg} not hub-like");
+        // Every non-seed vertex got exactly distinct targets (no self
+        // loops, no parallel edges from one attachment round).
+        for v in g.vertices() {
+            assert!(g.neighbors(v).iter().all(|nb| {
+                let e = g.edge(nb.edge);
+                e.u() != e.v()
+            }));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn barabasi_albert_rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        barabasi_albert(3, 3, &mut rng);
     }
 
     #[test]

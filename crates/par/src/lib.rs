@@ -95,6 +95,77 @@ where
     (0..n).map(f).collect()
 }
 
+/// Chunked parallel for-each over a mutable slice of `n_items` equal-stride
+/// items: `data.len()` must be a multiple of `n_items`, and item `i`
+/// occupies `data[i * stride .. (i + 1) * stride]`. The slice is split into
+/// contiguous per-thread chunks **on item boundaries** and `f(first_item,
+/// chunk)` runs once per chunk, where `chunk` covers items `first_item ..
+/// first_item + chunk.len() / stride`.
+///
+/// This is the arena-sweep primitive: a labeling pass that accumulates into
+/// one big allocation (e.g. the per-vertex sketch bank) hands each thread a
+/// disjoint window of it, with any per-chunk scratch allocated once per
+/// chunk instead of once per item. Sweeps below `min_items` run serially on
+/// the calling thread; `f` must depend only on `first_item` and the chunk
+/// contents, so the serial and parallel paths are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `n_items` (for `n_items >
+/// 0`); re-raises any worker panic with its original payload.
+pub fn par_for_each_chunk_mut<T, F>(data: &mut [T], n_items: usize, min_items: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if n_items == 0 {
+        return;
+    }
+    assert_eq!(data.len() % n_items, 0, "data not item-aligned");
+    let stride = data.len() / n_items;
+    if stride == 0 {
+        // Zero-width items: nothing to split on; run in place so the
+        // serial and parallel paths invoke `f` identically.
+        f(0, data);
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if n_items >= min_items.max(2)
+            && threads > 1
+            && !FORCE_SERIAL.load(std::sync::atomic::Ordering::Relaxed)
+        {
+            let per_chunk = n_items.div_ceil(threads.min(n_items));
+            let f = &f; // shared by reference: F: Sync makes &F Send
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut rest = data;
+                let mut first = 0usize;
+                while !rest.is_empty() {
+                    let take = (per_chunk * stride).min(rest.len());
+                    let (chunk, tail) = rest.split_at_mut(take);
+                    let start = first;
+                    handles.push(scope.spawn(move || f(start, chunk)));
+                    first += take / stride;
+                    rest = tail;
+                }
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            return;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = min_items;
+    f(0, data);
+}
+
 /// Order-preserving parallel map over a slice.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -172,6 +243,34 @@ mod tests {
             msg.contains("original assertion message"),
             "payload was replaced: {msg:?}"
         );
+    }
+
+    #[test]
+    fn chunked_mut_sweep_touches_every_item_once() {
+        // 100 items of stride 7; each chunk writes item indices into its
+        // window — every slot must end up holding its own item index.
+        for (n, min) in [(100usize, 2), (100, 1000), (1, 2), (0, 2)] {
+            let stride = 7;
+            let mut data = vec![usize::MAX; n * stride];
+            par_for_each_chunk_mut(&mut data, n, min, |first, chunk| {
+                for (k, item) in chunk.chunks_exact_mut(stride).enumerate() {
+                    for slot in item.iter_mut() {
+                        *slot = first + k;
+                    }
+                }
+            });
+            let expect: Vec<usize> = (0..n)
+                .flat_map(|i| std::iter::repeat_n(i, stride))
+                .collect();
+            assert_eq!(data, expect, "n = {n}, min = {min}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not item-aligned")]
+    fn chunked_mut_rejects_misaligned_data() {
+        let mut data = vec![0u8; 10];
+        par_for_each_chunk_mut(&mut data, 3, 2, |_, _| {});
     }
 
     #[test]

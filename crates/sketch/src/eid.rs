@@ -61,26 +61,38 @@ impl Eid {
     }
 
     /// Serializes to the fixed-width cell representation.
+    ///
+    /// The fixed fields are word-aligned (see the module-level layout
+    /// table), so the serializer writes five whole words instead of 320
+    /// individual bits — this runs once per edge inside the labeling sweep
+    /// and used to dominate it.
     pub fn to_bits(&self) -> BitVec {
+        let mut v = BitVec::zeros(Eid::bits(self.aux_lo.len()));
+        self.write_words(v.words_mut());
+        v
+    }
+
+    /// [`Eid::to_bits`] into a caller-owned **zeroed** word slice of
+    /// exactly `Eid::bits(aux_bits).div_ceil(64)` words — how the labeling
+    /// sweep serializes straight into its contiguous identifier bank
+    /// without a per-edge allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short.
+    pub fn write_words(&self, out: &mut [u64]) {
         let aux_bits = self.aux_lo.len();
         debug_assert_eq!(self.aux_hi.len(), aux_bits);
-        let mut v = BitVec::zeros(Eid::bits(aux_bits));
-        write_word(&mut v, 0, self.uid.0, 64);
-        write_word(&mut v, 64, self.lo as u64, 32);
-        write_word(&mut v, 96, self.hi as u64, 32);
-        write_word(&mut v, 128, self.anc_lo.pack(), 64);
-        write_word(&mut v, 192, self.anc_hi.pack(), 64);
-        write_word(&mut v, 256, self.port_lo as u64, 32);
-        write_word(&mut v, 288, self.port_hi as u64, 32);
-        for i in 0..aux_bits {
-            if self.aux_lo.get(i) {
-                v.set(FIXED_BITS + i, true);
-            }
-            if self.aux_hi.get(i) {
-                v.set(FIXED_BITS + aux_bits + i, true);
-            }
-        }
-        v
+        debug_assert!(out.iter().all(|&w| w == 0), "output not zeroed");
+        out[0] = self.uid.0;
+        out[1] = self.lo as u64 | ((self.hi as u64) << 32);
+        out[2] = self.anc_lo.pack();
+        out[3] = self.anc_hi.pack();
+        out[4] = self.port_lo as u64 | ((self.port_hi as u64) << 32);
+        // FIXED_BITS = 320 is a word boundary; the aux payloads are the only
+        // unaligned fields and go through the word-shifting OR.
+        or_shifted_words(out, self.aux_lo.words(), FIXED_BITS);
+        or_shifted_words(out, self.aux_hi.words(), FIXED_BITS + aux_bits);
     }
 
     /// Deserializes a cell; the inverse of [`Eid::to_bits`].
@@ -92,26 +104,17 @@ impl Eid {
         assert!(cell.len() >= FIXED_BITS, "cell too small for an Eid");
         let aux_bits = (cell.len() - FIXED_BITS) / 2;
         assert_eq!(FIXED_BITS + 2 * aux_bits, cell.len(), "odd aux width");
-        let mut aux_lo = BitVec::zeros(aux_bits);
-        let mut aux_hi = BitVec::zeros(aux_bits);
-        for i in 0..aux_bits {
-            if cell.get(FIXED_BITS + i) {
-                aux_lo.set(i, true);
-            }
-            if cell.get(FIXED_BITS + aux_bits + i) {
-                aux_hi.set(i, true);
-            }
-        }
+        let w = cell.words();
         Eid {
-            uid: EdgeUid(read_word(cell, 0, 64)),
-            lo: read_word(cell, 64, 32) as u32,
-            hi: read_word(cell, 96, 32) as u32,
-            anc_lo: AncestryLabel::unpack(read_word(cell, 128, 64)),
-            anc_hi: AncestryLabel::unpack(read_word(cell, 192, 64)),
-            port_lo: read_word(cell, 256, 32) as u32,
-            port_hi: read_word(cell, 288, 32) as u32,
-            aux_lo,
-            aux_hi,
+            uid: EdgeUid(w[0]),
+            lo: w[1] as u32,
+            hi: (w[1] >> 32) as u32,
+            anc_lo: AncestryLabel::unpack(w[2]),
+            anc_hi: AncestryLabel::unpack(w[3]),
+            port_lo: w[4] as u32,
+            port_hi: (w[4] >> 32) as u32,
+            aux_lo: cell.slice(FIXED_BITS, FIXED_BITS + aux_bits),
+            aux_hi: cell.slice(FIXED_BITS + aux_bits, cell.len()),
         }
     }
 
@@ -130,22 +133,23 @@ impl Eid {
     }
 }
 
-fn write_word(v: &mut BitVec, offset: usize, word: u64, bits: usize) {
-    for i in 0..bits {
-        if (word >> i) & 1 == 1 {
-            v.set(offset + i, true);
+/// ORs `src`'s bits into `out` starting at bit `offset` — the raw-slice
+/// sibling of `BitVec::or_shifted`, for serializing into arena windows.
+/// `src`'s tail bits (past its logical length) must be zero, which
+/// `BitVec::words` guarantees.
+fn or_shifted_words(out: &mut [u64], src: &[u64], offset: usize) {
+    let base = offset / 64;
+    let shift = offset % 64;
+    for (i, &w) in src.iter().enumerate() {
+        if shift == 0 {
+            out[base + i] |= w;
+        } else {
+            out[base + i] |= w << shift;
+            if base + i + 1 < out.len() {
+                out[base + i + 1] |= w >> (64 - shift);
+            }
         }
     }
-}
-
-fn read_word(v: &BitVec, offset: usize, bits: usize) -> u64 {
-    let mut w = 0u64;
-    for i in 0..bits {
-        if v.get(offset + i) {
-            w |= 1 << i;
-        }
-    }
-    w
 }
 
 #[cfg(test)]

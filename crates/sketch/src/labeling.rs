@@ -2,7 +2,7 @@
 
 use crate::eid::Eid;
 use crate::sketch::{Sketch, SketchParams};
-use ftl_gf2::BitVec;
+use ftl_gf2::{BitMatrix, BitVec};
 use ftl_graph::{EdgeId, Graph, GraphError, SpanningTree, VertexId};
 use ftl_labels::AncestryLabel;
 use ftl_seeded::{Seed, UidSpace};
@@ -137,13 +137,21 @@ impl SketchScheme {
             );
         }
         let uid_space = UidSpace::new(sid);
-        // Parallel-edge copy discriminators, in edge-id order.
-        let mut mult: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+        // Ancestry labels once per vertex; the eid sweep and the vertex
+        // label sweep both read from this table instead of re-deriving
+        // per-edge-endpoint.
+        let anc_of: Vec<AncestryLabel> =
+            ftl_par::par_map_indexed(n, |i| AncestryLabel::of(tree, VertexId::new(i)));
+        // Parallel-edge copy discriminators, in edge-id order (endpoint
+        // pairs packed into one u64 key to halve the hashing work).
+        let mut mult: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         let copy_of: Vec<u32> = graph
             .edge_ids()
             .map(|(_, e)| {
                 let (lo, hi) = e.endpoints();
-                let c = mult.entry((lo.raw(), hi.raw())).or_insert(0);
+                let c = mult
+                    .entry(((lo.raw() as u64) << 32) | hi.raw() as u64)
+                    .or_insert(0);
                 let copy = *c;
                 *c += 1;
                 copy
@@ -188,66 +196,88 @@ impl SketchScheme {
                 uid: uid_space.uid(lo_v.raw(), hi_v.raw(), copy_of[i]),
                 lo: lo_v.raw(),
                 hi: hi_v.raw(),
-                anc_lo: AncestryLabel::of(tree, lo_v),
-                anc_hi: AncestryLabel::of(tree, hi_v),
+                anc_lo: anc_of[lo_v.index()],
+                anc_hi: anc_of[hi_v.index()],
                 port_lo,
                 port_hi,
                 aux_lo: aux_of(lo_v),
                 aux_hi: aux_of(hi_v),
             }
         });
-        // Per-vertex sketches (Eq. (2)): serialized identifier bits and
-        // sampling keys once per edge, sampling levels once per (unit, edge)
-        // pair — one streaming pass per unit instead of a hash derivation
-        // per toggle — then a per-vertex gather over incident edges. Each
-        // vertex owns its sketch, so the sweep is data-race-free and runs
-        // on all cores.
-        let edge_material: Vec<(BitVec, u64)> =
-            ftl_par::par_map(&eids, |eid| (eid.to_bits(), eid.sampling_key()));
-        let keys: Vec<u64> = edge_material.iter().map(|(_, key)| *key).collect();
+        // Per-vertex sketches (Eq. (2)): serialized identifier bits live in
+        // one contiguous bank (row e = EID_T(e)), sampling levels are
+        // precomputed once per (unit, edge) pair — one streaming pass per
+        // unit instead of a hash derivation per toggle — and each vertex
+        // gathers its incident edges through the bank-level toggle, which
+        // hoists borrows and bounds checks out of the `(edge, unit)` loop.
+        // Each vertex owns its sketch, so the sweep is data-race-free and
+        // runs on all cores, with the bank and level table shared read-only.
+        let keys: Vec<u64> = eids.iter().map(|eid| eid.sampling_key()).collect();
+        // Serialize straight into the bank's word arena, chunked across
+        // threads on row boundaries — no intermediate per-edge vectors.
+        let mut eid_bank = BitMatrix::with_rows(eids.len(), params.cell_bits());
+        let bank_wpr = eid_bank.words_per_row();
+        if bank_wpr > 0 {
+            ftl_par::par_for_each_chunk_mut(
+                eid_bank.words_mut(),
+                eids.len(),
+                2048,
+                |first, chunk| {
+                    for (k, slot) in chunk.chunks_exact_mut(bank_wpr).enumerate() {
+                        eids[first + k].write_words(slot);
+                    }
+                },
+            );
+        }
         let levels = params.levels_for_keys(sh, &keys);
         let vertex_sketch: Vec<Sketch> = ftl_par::par_map_indexed_with_min(n, 256, |i| {
             let v = VertexId::new(i);
             let mut sketch = Sketch::zero(*params);
-            for nb in graph.neighbors(v) {
-                let e = graph.edge(nb.edge);
-                if e.u() == e.v() {
-                    continue; // self-loops cancel in their own sketch
-                }
-                let (bits, _) = &edge_material[nb.edge.index()];
-                sketch.toggle_edge_batched(bits, nb.edge.index(), &levels);
-            }
+            sketch.toggle_edges_from_bank(
+                &eid_bank,
+                graph.neighbors(v).iter().filter_map(|nb| {
+                    let e = graph.edge(nb.edge);
+                    // Self-loops cancel in their own sketch; skip them.
+                    (e.u() != e.v()).then(|| nb.edge.index())
+                }),
+                &levels,
+            );
             sketch
         });
-        // Subtree sketches, bottom-up (reverse preorder).
-        let mut subtree = vertex_sketch;
+        // Subtree sketches, bottom-up (reverse preorder). Each vertex's
+        // accumulated sketch is XOR-ed into its parent *in place* and then
+        // **moved** into the tree edge's label — one XOR per tree edge and
+        // zero sketch copies (the old version cloned three sketch-sized
+        // buffers per edge).
+        let mut subtree: Vec<Option<Sketch>> = vertex_sketch.into_iter().map(Some).collect();
         let mut tree_info: Vec<Option<TreeEdgeInfo>> = vec![None; graph.num_edges()];
         for &v in tree.preorder().iter().rev() {
             if let Some((p, e)) = tree.parent(v) {
-                let child_sketch = subtree[v.index()].clone();
+                let child_sketch = subtree[v.index()].take().expect("visited once");
+                subtree[p.index()]
+                    .as_mut()
+                    .expect("parent still pending")
+                    .xor_assign(&child_sketch);
                 tree_info[e.index()] = Some(TreeEdgeInfo {
-                    sketch_subtree: child_sketch.clone(),
+                    sketch_subtree: child_sketch,
                     sid,
                     sh,
                     params: *params,
                 });
-                subtree[p.index()].xor_assign(&child_sketch);
             }
         }
         let vertex_labels = ftl_par::par_map_indexed(n, |i| {
             let v = VertexId::new(i);
             SketchVertexLabel {
                 id: v.raw(),
-                anc: AncestryLabel::of(tree, v),
+                anc: anc_of[i],
                 aux: aux_of(v),
             }
         });
-        let edge_labels = graph
-            .edge_ids()
-            .map(|(id, _)| SketchEdgeLabel {
-                eid: eids[id.index()].clone(),
-                tree: tree_info[id.index()].take(),
-            })
+        let edge_labels = eids
+            .into_iter()
+            .zip(tree_info)
+            .map(|(eid, tree)| SketchEdgeLabel { eid, tree })
             .collect();
         Ok(SketchScheme {
             params: *params,
