@@ -1,0 +1,283 @@
+//! PR 6 benchmark: churn without rebuilds — the epoch-versioned live
+//! store's delta-freeze path against the full-rebuild baseline, written to
+//! `BENCH_pr6.json` at the repo root.
+//!
+//! Shape mirrors the DRFE-R evaluation loop: 500–1000-node graphs, 20
+//! removal rounds each, under both uniform-random and targeted
+//! (highest-degree-first) removal. Every round:
+//!
+//! 1. measures what a from-scratch relabel + full freeze of the *current*
+//!    topology would cost (`measure_full_rebuild_ns` — the honest
+//!    baseline, remeasured as the graph shrinks),
+//! 2. applies the round's removals through [`LiveStore`], which publishes
+//!    a delta-frozen (or, rarely, fully rebuilt) successor epoch and
+//!    reports the whole mutate-and-publish wall time,
+//! 3. pushes verification traffic through an epoch-following engine and
+//!    checks **every** answer against a BFS over the surviving topology.
+//!
+//! The tentpole number is the median delta-swap time over the median
+//! full-rebuild time; the binary asserts the delta path is measurably
+//! faster and that ground-truth agreement is perfect throughout.
+//!
+//! Run with: `cargo run -p ftl-bench --bin bench_pr6 --release`
+
+use ftl_engine::{
+    plan_edge_removals, plan_vertex_removals, BatchRequest, ConnQuery, Engine, EngineConfig,
+    LiveStore, RemovalModel, SwapPath,
+};
+use ftl_graph::traversal::connected_avoiding;
+use ftl_graph::{generators, EdgeId, Graph, VertexId};
+use ftl_seeded::Seed;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const ROUNDS: usize = 20;
+const EDGE_REMOVALS_PER_ROUND: usize = 5;
+const VERTEX_REMOVALS_PER_ROUND: usize = 1;
+const FAULTS_PER_SET: usize = 8;
+const QUERIES_PER_ROUND: usize = 64;
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+struct RunSummary {
+    rows: Vec<String>,
+    delta_median_ns: u64,
+    rebuild_median_ns: u64,
+    delta_rounds: usize,
+    full_rebuild_rounds: usize,
+    mismatches: usize,
+    final_epoch: u64,
+    mean_reachable: f64,
+}
+
+/// One DRFE-R-shaped run: 20 removal rounds over `g` under `model`, every
+/// round benchmarked against the full-rebuild baseline and verified
+/// against BFS ground truth.
+fn churn_run(g: &Graph, model: RemovalModel, seed: u64, human: &mut Vec<String>) -> RunSummary {
+    let config = EngineConfig::default();
+    let mut store = LiveStore::new(g, 16, Seed::new(seed), config).expect("connected workload");
+    let mut engine = Engine::over_epochs(Arc::clone(store.epochs()), config);
+    let mut rows = Vec::with_capacity(ROUNDS);
+    let mut delta_ns = Vec::new();
+    let mut rebuild_ns_all = Vec::new();
+    let mut delta_rounds = 0usize;
+    let mut full_rebuild_rounds = 0usize;
+    let mut mismatches = 0usize;
+    let mut reachable_sum = 0.0f64;
+    for round in 0..ROUNDS {
+        let round_seed = Seed::new(seed).derive(round as u64 + 1);
+        // 1. Baseline: full relabel + full freeze of the current topology.
+        let rebuild_ns = store.measure_full_rebuild_ns();
+        rebuild_ns_all.push(rebuild_ns);
+        // 2. The round's removals through the delta pipeline.
+        let edges = plan_edge_removals(store.live(), EDGE_REMOVALS_PER_ROUND, model, round_seed);
+        let (edge_swap, edge_skips) = store.remove_edges(&edges);
+        let vertices = plan_vertex_removals(
+            store.live(),
+            VERTEX_REMOVALS_PER_ROUND,
+            model,
+            round_seed.derive(1),
+        );
+        let (vertex_swap, vertex_skips) = store.remove_vertices(&vertices);
+        let swap_ns = edge_swap.elapsed_ns + vertex_swap.elapsed_ns;
+        let mut full_rebuild = false;
+        let (mut upserts, mut removals) = (0usize, 0usize);
+        for swap in [&edge_swap, &vertex_swap] {
+            match swap.path {
+                SwapPath::Delta {
+                    upserts: u,
+                    removals: r,
+                } => {
+                    upserts += u;
+                    removals += r;
+                }
+                SwapPath::FullRebuild => full_rebuild = true,
+            }
+        }
+        if full_rebuild {
+            full_rebuild_rounds += 1;
+        } else {
+            delta_rounds += 1;
+            delta_ns.push(swap_ns);
+        }
+        // 3. Verification traffic over the survivors.
+        let live = store.live();
+        let alive_edges: Vec<EdgeId> = live.alive_edges().collect();
+        let alive_vertices: Vec<VertexId> = live.alive_vertices().collect();
+        let mut rng = round_seed.derive(2).stream();
+        let mut faults = Vec::with_capacity(FAULTS_PER_SET);
+        while faults.len() < FAULTS_PER_SET.min(alive_edges.len()) {
+            let e = alive_edges[(rng() % alive_edges.len() as u64) as usize];
+            if !faults.contains(&e) {
+                faults.push(e);
+            }
+        }
+        let queries: Vec<ConnQuery> = (0..QUERIES_PER_ROUND)
+            .map(|_| ConnQuery {
+                s: alive_vertices[(rng() % alive_vertices.len() as u64) as usize],
+                t: alive_vertices[(rng() % alive_vertices.len() as u64) as usize],
+                fault_set: 0,
+            })
+            .collect();
+        let req = BatchRequest {
+            fault_sets: vec![faults.clone()],
+            queries,
+        };
+        let resp = engine.execute(&req).expect("epoch-following batch");
+        let mut mask = live.forbidden_base();
+        for &e in &faults {
+            mask[e.index()] = true;
+        }
+        let mut round_mismatches = 0usize;
+        let mut reachable = 0usize;
+        for (q, r) in req.queries.iter().zip(&resp.results) {
+            if r.connected {
+                reachable += 1;
+            }
+            if connected_avoiding(live.graph(), q.s, q.t, &mask) != r.connected {
+                round_mismatches += 1;
+            }
+        }
+        mismatches += round_mismatches;
+        let reachable_fraction = reachable as f64 / resp.results.len().max(1) as f64;
+        reachable_sum += reachable_fraction;
+        let speedup = rebuild_ns as f64 / swap_ns.max(1) as f64;
+        rows.push(format!(
+            "{{\"round\": {round}, \"removed_edges\": {}, \"removed_vertices\": {}, \"skipped\": {}, \"epoch\": {}, \"full_rebuild\": {full_rebuild}, \"delta_upserts\": {upserts}, \"delta_removals\": {removals}, \"swap_ns\": {swap_ns}, \"rebuild_ns\": {rebuild_ns}, \"speedup\": {speedup:.1}, \"queries\": {}, \"reachable_fraction\": {reachable_fraction:.4}, \"mismatches\": {round_mismatches}}}",
+            edges.len() - edge_skips.len(),
+            vertices.len() - vertex_skips.len(),
+            edge_skips.len() + vertex_skips.len(),
+            vertex_swap.epoch.max(edge_swap.epoch),
+            resp.results.len(),
+        ));
+    }
+    let summary = RunSummary {
+        rows,
+        delta_median_ns: median(delta_ns),
+        rebuild_median_ns: median(rebuild_ns_all),
+        delta_rounds,
+        full_rebuild_rounds,
+        mismatches,
+        final_epoch: store.epochs().current().number(),
+        mean_reachable: reachable_sum / ROUNDS as f64,
+    };
+    human.push(format!(
+        "churn {model:?}: delta median {:>9} ns  rebuild median {:>10} ns  ({:.1}x)  rounds {}d/{}f  mismatches {}",
+        summary.delta_median_ns,
+        summary.rebuild_median_ns,
+        summary.rebuild_median_ns as f64 / summary.delta_median_ns.max(1) as f64,
+        summary.delta_rounds,
+        summary.full_rebuild_rounds,
+        summary.mismatches,
+    ));
+    summary
+}
+
+fn main() {
+    let mut rng = ftl_bench::rng(6);
+    let mut human: Vec<String> = Vec::new();
+    let workloads: Vec<(String, Graph)> = vec![
+        (
+            "ba-600".into(),
+            generators::barabasi_albert(600, 3, &mut rng),
+        ),
+        (
+            "er-1000".into(),
+            generators::connected_random(1000, 8.0 / 1000.0, 1, &mut rng),
+        ),
+    ];
+    let mut sections: Vec<String> = Vec::new();
+    for (name, g) in &workloads {
+        for model in [RemovalModel::Random, RemovalModel::Targeted] {
+            eprintln!("[bench_pr6] {name} under {model:?} removal, {ROUNDS} rounds");
+            human.push(format!(
+                "{name} (n={}, m={}):",
+                g.num_vertices(),
+                g.num_edges()
+            ));
+            let s = churn_run(g, model, 0x9A6 ^ g.num_vertices() as u64, &mut human);
+            assert_eq!(
+                s.mismatches, 0,
+                "{name}/{model:?}: engine diverged from BFS ground truth"
+            );
+            assert!(
+                s.final_epoch > ROUNDS as u64 / 2,
+                "{name}/{model:?}: churn barely published any epochs"
+            );
+            // The tentpole claim, asserted where CI can see it: swapping a
+            // delta-frozen epoch must beat relabel-from-scratch + full
+            // freeze by a clear margin, under both removal models.
+            assert!(
+                s.delta_rounds > 0,
+                "{name}/{model:?}: no round stayed on the delta path"
+            );
+            assert!(
+                (s.delta_median_ns as f64) * 2.0 < s.rebuild_median_ns as f64,
+                "{name}/{model:?}: delta-freeze not measurably faster: {} ns vs {} ns",
+                s.delta_median_ns,
+                s.rebuild_median_ns
+            );
+            let mut sec = String::new();
+            writeln!(sec, "    {{").unwrap();
+            writeln!(sec, "      \"workload\": \"{name}\",").unwrap();
+            writeln!(
+                sec,
+                "      \"n\": {}, \"m\": {}, \"model\": \"{model:?}\",",
+                g.num_vertices(),
+                g.num_edges()
+            )
+            .unwrap();
+            writeln!(
+                sec,
+                "      \"delta_median_ns\": {}, \"rebuild_median_ns\": {}, \"speedup\": {:.1},",
+                s.delta_median_ns,
+                s.rebuild_median_ns,
+                s.rebuild_median_ns as f64 / s.delta_median_ns.max(1) as f64
+            )
+            .unwrap();
+            writeln!(
+                sec,
+                "      \"delta_rounds\": {}, \"full_rebuild_rounds\": {}, \"final_epoch\": {}, \"mismatches\": {}, \"mean_reachable_fraction\": {:.4},",
+                s.delta_rounds, s.full_rebuild_rounds, s.final_epoch, s.mismatches, s.mean_reachable
+            )
+            .unwrap();
+            writeln!(sec, "      \"rounds\": [").unwrap();
+            for (i, r) in s.rows.iter().enumerate() {
+                let comma = if i + 1 < s.rows.len() { "," } else { "" };
+                writeln!(sec, "        {r}{comma}").unwrap();
+            }
+            writeln!(sec, "      ]").unwrap();
+            write!(sec, "    }}").unwrap();
+            sections.push(sec);
+        }
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 6,").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"DRFE-R-shaped churn: {ROUNDS} removal rounds per run ({EDGE_REMOVALS_PER_ROUND} edges + {VERTEX_REMOVALS_PER_ROUND} vertex per round, bridges/cut-vertices skipped). swap_ns = live mutation + delta-freeze + epoch publish; rebuild_ns = relabel-from-scratch + full freeze of the same topology, measured immediately before each round's removals. Every round's answers are verified against BFS over the surviving topology; the binary asserts zero mismatches and delta median * 2 < rebuild median.\","
+    )
+    .unwrap();
+    writeln!(json, "  \"runs\": [").unwrap();
+    for (i, sec) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        writeln!(json, "{sec}{comma}").unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    for h in &human {
+        println!("{h}");
+    }
+    let out = std::env::var("BENCH_PR6_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("\nwrote {out}");
+}

@@ -43,7 +43,9 @@
 pub mod circulation;
 pub mod decode;
 pub mod labeling;
+pub mod live;
 pub mod wire;
 
 pub use decode::{decode, decode_brute_force, decode_with_certificate, CycleSpaceDecoder};
 pub use labeling::{CycleSpaceEdgeLabel, CycleSpaceScheme, CycleSpaceVertexLabel};
+pub use live::{LiveCycleSpace, LiveDelta, LiveError};

@@ -1,0 +1,1095 @@
+//! Live (incrementally maintained) cycle-space labeling for churn without
+//! full rebuilds.
+//!
+//! The static [`CycleSpaceScheme`](crate::CycleSpaceScheme) is build-once:
+//! any topology change forces a relabel of the whole graph. This module
+//! maintains the same label family — ancestry intervals over a spanning
+//! tree plus `b`-bit cut-detection strings `φ` forming a circulation —
+//! under **edge and vertex removals**, touching only the labels that
+//! actually change:
+//!
+//! * Removing a non-tree edge `e = (u, v)` removes one fundamental cycle
+//!   from the cycle space. XOR-ing `φ(e)` into every tree edge on
+//!   `tree_path(u, v)` restores the circulation invariant (per bit, the
+//!   edges carrying a set bit keep even degree at every vertex) and no
+//!   ancestry label moves.
+//! * Removing a tree edge `t` re-hangs the orphaned subtree on a
+//!   replacement non-tree edge `e′` crossing the cut. XOR-ing `φ(t)` along
+//!   the fundamental cycle of `e′` (which contains `t`) zeroes `φ(t)` and
+//!   preserves circulations; only the re-hung subtree is renumbered, into
+//!   the spare interval left under the new attachment point by *spread*
+//!   DFS numbering (raw times are multiplied by a large stride so that
+//!   gaps exist between consecutive intervals).
+//! * Removing a vertex removes its incident edges non-tree-first; when its
+//!   last tree edge goes, the vertex is an isolated leaf and the
+//!   circulation invariant forces that edge's `φ` to zero already.
+//!
+//! When a re-hang cannot fit in the available interval gap (after many
+//! churn rounds) the scheme transparently falls back to an internal full
+//! relabel with a freshly derived seed and reports the fact through
+//! [`LiveDelta::full`], so callers (the engine's epoch store) know to
+//! rebuild rather than patch.
+//!
+//! Removals that would disconnect the alive graph are rejected with
+//! [`LiveError::WouldDisconnect`] and leave the structure untouched — the
+//! scheme answers *connectivity under faults* and keeps the alive graph
+//! connected as its resting state, mirroring the DRFE-R recovery model
+//! (repair after failure, serve during repair).
+
+use ftl_gf2::BitVec;
+use ftl_graph::{traversal, EdgeId, Graph, VertexId};
+use ftl_labels::AncestryLabel;
+use ftl_seeded::Seed;
+
+use crate::labeling::{CycleSpaceEdgeLabel, CycleSpaceVertexLabel};
+
+/// Errors surfaced by live mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveError {
+    /// The vertex is not alive (never existed or already removed).
+    MissingVertex(VertexId),
+    /// The edge is not alive (never existed or already removed).
+    MissingEdge(EdgeId),
+    /// Removing this edge/vertex would disconnect the alive graph.
+    WouldDisconnect,
+    /// Refusing to remove the final alive vertex.
+    LastVertex,
+    /// The initial graph is not connected.
+    Disconnected,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::MissingVertex(v) => write!(f, "vertex {} is not alive", v.index()),
+            LiveError::MissingEdge(e) => write!(f, "edge {} is not alive", e.index()),
+            LiveError::WouldDisconnect => write!(f, "removal would disconnect the alive graph"),
+            LiveError::LastVertex => write!(f, "refusing to remove the last alive vertex"),
+            LiveError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// Change set accumulated since the last [`LiveCycleSpace::take_delta`].
+///
+/// `upsert` ids are alive and carry changed labels; `removed` ids are dead
+/// and must be evicted from any derived store. When `full` is set the
+/// scheme performed an internal relabel-from-scratch and *every* alive
+/// label changed — consumers should rebuild rather than patch.
+#[derive(Debug, Clone, Default)]
+pub struct LiveDelta {
+    /// Alive vertices whose labels changed.
+    pub vertex_upserts: Vec<VertexId>,
+    /// Alive edges whose labels changed.
+    pub edge_upserts: Vec<EdgeId>,
+    /// Vertices removed since the last delta.
+    pub removed_vertices: Vec<VertexId>,
+    /// Edges removed since the last delta.
+    pub removed_edges: Vec<EdgeId>,
+    /// Whether the scheme fell back to a full relabel.
+    pub full: bool,
+}
+
+impl LiveDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_upserts.is_empty()
+            && self.edge_upserts.is_empty()
+            && self.removed_vertices.is_empty()
+            && self.removed_edges.is_empty()
+            && !self.full
+    }
+}
+
+/// Outcome of a tree-edge removal attempt (internal).
+enum TreeRemove {
+    Done,
+    /// No spare numbering interval for the re-hang: caller must relabel.
+    NeedRebuild,
+    /// No replacement edge crosses the cut: removal would disconnect.
+    WouldDisconnect,
+}
+
+/// Incrementally maintained cycle-space labeling over a fixed edge-id
+/// space with liveness masks.
+///
+/// The underlying [`Graph`] is immutable; removals flip `alive` masks and
+/// patch the spanning tree and `φ` bank in place. Label ids therefore stay
+/// stable across the lifetime of the structure, which is what lets a
+/// derived store splice unchanged shards between epochs.
+#[derive(Debug, Clone)]
+pub struct LiveCycleSpace {
+    graph: Graph,
+    b: usize,
+    seed: Seed,
+    /// Number of internal full relabels performed (seeds each relabel).
+    relabels: u64,
+    root: VertexId,
+    alive_vertex: Vec<bool>,
+    alive_edge: Vec<bool>,
+    phi: Vec<BitVec>,
+    is_tree: Vec<bool>,
+    parent: Vec<Option<(VertexId, EdgeId)>>,
+    children: Vec<Vec<VertexId>>,
+    depth: Vec<u32>,
+    pre: Vec<u32>,
+    post: Vec<u32>,
+    dirty_vertex: Vec<bool>,
+    dirty_edge: Vec<bool>,
+    removed_vertices: Vec<VertexId>,
+    removed_edges: Vec<EdgeId>,
+    all_dirty: bool,
+}
+
+impl LiveCycleSpace {
+    /// Builds the live scheme against up to `f` faults, with the same
+    /// `b = f + slack` width the static scheme would pick for this graph.
+    pub fn new(graph: &Graph, f: usize, seed: Seed) -> Result<Self, LiveError> {
+        let n = graph.num_vertices().max(2);
+        let slack = (4 * (usize::BITS - (n - 1).leading_zeros()) as usize).max(16);
+        Self::with_bits(graph, f + slack, seed)
+    }
+
+    /// Builds the live scheme with an explicit `φ` width `b`.
+    pub fn with_bits(graph: &Graph, b: usize, seed: Seed) -> Result<Self, LiveError> {
+        if graph.num_vertices() == 0 || !traversal::is_connected(graph) {
+            return Err(LiveError::Disconnected);
+        }
+        let nv = graph.num_vertices();
+        let ne = graph.num_edges();
+        let mut live = LiveCycleSpace {
+            graph: graph.clone(),
+            b,
+            seed,
+            relabels: 0,
+            root: VertexId::new(0),
+            alive_vertex: vec![true; nv],
+            alive_edge: vec![true; ne],
+            phi: vec![BitVec::zeros(b); ne],
+            is_tree: vec![false; ne],
+            parent: vec![None; nv],
+            children: vec![Vec::new(); nv],
+            depth: vec![0; nv],
+            pre: vec![u32::MAX; nv],
+            post: vec![u32::MAX; nv],
+            dirty_vertex: vec![false; nv],
+            dirty_edge: vec![false; ne],
+            removed_vertices: Vec::new(),
+            removed_edges: Vec::new(),
+            all_dirty: false,
+        };
+        live.relabel_from_scratch();
+        Ok(live)
+    }
+
+    /// The underlying (immutable) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// `φ` width in bits.
+    pub fn bits(&self) -> usize {
+        self.b
+    }
+
+    /// Current spanning-tree root.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Number of internal full relabels performed so far.
+    pub fn relabels(&self) -> u64 {
+        self.relabels
+    }
+
+    /// Whether `v` is alive.
+    pub fn is_alive_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.alive_vertex.len() && self.alive_vertex[v.index()]
+    }
+
+    /// Whether `e` is alive.
+    pub fn is_alive_edge(&self, e: EdgeId) -> bool {
+        e.index() < self.alive_edge.len() && self.alive_edge[e.index()]
+    }
+
+    /// Number of alive vertices.
+    pub fn num_alive_vertices(&self) -> usize {
+        self.alive_vertex.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of alive edges.
+    pub fn num_alive_edges(&self) -> usize {
+        self.alive_edge.iter().filter(|&&a| a).count()
+    }
+
+    /// Alive vertices in id order.
+    pub fn alive_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive_vertex
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| VertexId::new(i))
+    }
+
+    /// Alive edges in id order.
+    pub fn alive_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.alive_edge
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| EdgeId::new(i))
+    }
+
+    /// Forbidden-edge mask covering every *dead* edge — the base mask for
+    /// ground-truth reachability on the mutated topology (union it with a
+    /// query's fault set).
+    pub fn forbidden_base(&self) -> Vec<bool> {
+        self.alive_edge.iter().map(|&a| !a).collect()
+    }
+
+    /// Label of an alive vertex.
+    pub fn vertex_label(&self, v: VertexId) -> CycleSpaceVertexLabel {
+        debug_assert!(self.is_alive_vertex(v));
+        CycleSpaceVertexLabel {
+            anc: AncestryLabel {
+                pre: self.pre[v.index()],
+                post: self.post[v.index()],
+            },
+        }
+    }
+
+    /// Label of an alive edge.
+    pub fn edge_label(&self, e: EdgeId) -> CycleSpaceEdgeLabel {
+        debug_assert!(self.is_alive_edge(e));
+        let edge = self.graph.edge(e);
+        let anc_of = |v: VertexId| AncestryLabel {
+            pre: self.pre[v.index()],
+            post: self.post[v.index()],
+        };
+        CycleSpaceEdgeLabel {
+            phi: self.phi[e.index()].clone(),
+            anc_u: anc_of(edge.u()),
+            anc_v: anc_of(edge.v()),
+            is_tree: self.is_tree[e.index()],
+        }
+    }
+
+    /// Drains the accumulated change set.
+    pub fn take_delta(&mut self) -> LiveDelta {
+        let mut delta = LiveDelta {
+            full: self.all_dirty,
+            removed_vertices: std::mem::take(&mut self.removed_vertices),
+            removed_edges: std::mem::take(&mut self.removed_edges),
+            ..LiveDelta::default()
+        };
+        if self.all_dirty {
+            delta.vertex_upserts = self.alive_vertices().collect();
+            delta.edge_upserts = self.alive_edges().collect();
+        } else {
+            for (i, d) in self.dirty_vertex.iter().enumerate() {
+                if *d && self.alive_vertex[i] {
+                    delta.vertex_upserts.push(VertexId::new(i));
+                }
+            }
+            for (i, d) in self.dirty_edge.iter().enumerate() {
+                if *d && self.alive_edge[i] {
+                    delta.edge_upserts.push(EdgeId::new(i));
+                }
+            }
+        }
+        self.dirty_vertex.iter_mut().for_each(|d| *d = false);
+        self.dirty_edge.iter_mut().for_each(|d| *d = false);
+        self.all_dirty = false;
+        delta
+    }
+
+    /// Removes an alive edge, patching `φ` along its fundamental cycle (or
+    /// re-hanging the orphaned subtree for a tree edge). Errors leave the
+    /// structure unchanged.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<(), LiveError> {
+        if !self.is_alive_edge(e) {
+            return Err(LiveError::MissingEdge(e));
+        }
+        if self.is_tree[e.index()] {
+            match self.remove_tree_edge(e) {
+                TreeRemove::Done => Ok(()),
+                TreeRemove::WouldDisconnect => Err(LiveError::WouldDisconnect),
+                TreeRemove::NeedRebuild => {
+                    self.kill_edge(e);
+                    self.relabel_from_scratch();
+                    Ok(())
+                }
+            }
+        } else {
+            self.remove_non_tree_edge(e);
+            Ok(())
+        }
+    }
+
+    /// Removes an alive vertex and all its incident edges. Errors leave
+    /// the structure unchanged.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<(), LiveError> {
+        if !self.is_alive_vertex(v) {
+            return Err(LiveError::MissingVertex(v));
+        }
+        let alive_count = self.num_alive_vertices();
+        if alive_count == 1 {
+            return Err(LiveError::LastVertex);
+        }
+        // Connectivity pre-check: the alive graph minus v (and all its
+        // incident edges) must stay connected.
+        let mut forbidden = self.forbidden_base();
+        for nb in self.graph.neighbors(v) {
+            forbidden[nb.edge.index()] = true;
+        }
+        let source = self
+            .alive_vertices()
+            .find(|&w| w != v)
+            .expect("at least two alive vertices");
+        let bfs = traversal::bfs(&self.graph, source, &forbidden);
+        let reached = (0..self.graph.num_vertices())
+            .filter(|&i| self.alive_vertex[i] && VertexId::new(i) != v)
+            .all(|i| bfs.dist[i].is_some());
+        if !reached {
+            return Err(LiveError::WouldDisconnect);
+        }
+
+        if v == self.root {
+            // Re-rooting is a global renumbering anyway: take the rebuild.
+            self.kill_vertex_brutally(v);
+            self.relabel_from_scratch();
+            return Ok(());
+        }
+
+        // 1. Non-tree incident edges first (cheap fundamental-cycle XORs);
+        //    this also guarantees later tree-edge replacements never
+        //    attach anything back to v.
+        let incident: Vec<EdgeId> = self.graph.neighbors(v).iter().map(|nb| nb.edge).collect();
+        for e in incident {
+            if self.is_alive_edge(e) && !self.is_tree[e.index()] {
+                self.remove_non_tree_edge(e);
+            }
+        }
+
+        // 2. Child tree edges: re-hang each child subtree elsewhere. The
+        //    pre-check guarantees a replacement exists; a failed gap check
+        //    falls back to a full relabel.
+        while let Some(&c) = self.children[v.index()].first() {
+            let (_, te) = self.parent[c.index()].expect("child has parent edge");
+            match self.remove_tree_edge(te) {
+                TreeRemove::Done => {}
+                TreeRemove::NeedRebuild | TreeRemove::WouldDisconnect => {
+                    self.kill_vertex_brutally(v);
+                    self.relabel_from_scratch();
+                    return Ok(());
+                }
+            }
+        }
+
+        // 3. Final parent edge: v is now a leaf whose only alive incident
+        //    edge is its parent edge t. Per bit, the circulation invariant
+        //    forces φ(t) = 0 (t is the only edge that could carry a set
+        //    bit at v), so dropping it preserves all circulations.
+        let (p, t) = self.parent[v.index()].expect("non-root has a parent");
+        debug_assert!(
+            self.phi[t.index()].is_zero(),
+            "leaf parent edge must carry zero φ"
+        );
+        self.kill_edge(t);
+        self.children[p.index()].retain(|&w| w != v);
+        self.parent[v.index()] = None;
+
+        // 4. Kill the vertex itself.
+        self.alive_vertex[v.index()] = false;
+        self.removed_vertices.push(v);
+        Ok(())
+    }
+
+    /// Forces a full relabel of the alive graph (fresh tree, numbering,
+    /// and `φ` bank). The next [`take_delta`](Self::take_delta) reports
+    /// `full = true`. This is what a non-incremental consumer does every
+    /// round — exposed so benchmarks can measure that baseline honestly.
+    pub fn relabel(&mut self) {
+        self.relabel_from_scratch();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Marks an edge dead and zeroes its φ row. Does not touch the tree.
+    fn kill_edge(&mut self, e: EdgeId) {
+        self.alive_edge[e.index()] = false;
+        self.is_tree[e.index()] = false;
+        self.phi[e.index()] = BitVec::zeros(self.b);
+        self.removed_edges.push(e);
+    }
+
+    /// Kills `v` and every alive incident edge without repairing anything.
+    /// Only valid immediately before a full relabel.
+    fn kill_vertex_brutally(&mut self, v: VertexId) {
+        let incident: Vec<EdgeId> = self.graph.neighbors(v).iter().map(|nb| nb.edge).collect();
+        for e in incident {
+            if self.is_alive_edge(e) {
+                self.kill_edge(e);
+            }
+        }
+        self.alive_vertex[v.index()] = false;
+        self.removed_vertices.push(v);
+    }
+
+    /// Removes a non-tree alive edge: XOR `φ(e)` into every tree edge on
+    /// the tree path between its endpoints (the rest of its fundamental
+    /// cycle), then drop it. A self-loop has an empty path.
+    fn remove_non_tree_edge(&mut self, e: EdgeId) {
+        let edge = self.graph.edge(e);
+        let (u, v) = (edge.u(), edge.v());
+        if u != v {
+            let cyc = self.phi[e.index()].clone();
+            for t in self.tree_path(u, v) {
+                self.phi[t.index()].xor_assign(&cyc);
+                self.dirty_edge[t.index()] = true;
+            }
+        }
+        self.kill_edge(e);
+    }
+
+    /// Tree edges on the unique tree path between `u` and `v`, by
+    /// depth-balanced parent climbing (order is irrelevant for XOR).
+    fn tree_path(&self, u: VertexId, v: VertexId) -> Vec<EdgeId> {
+        let mut path = Vec::new();
+        let (mut a, mut b) = (u, v);
+        while self.depth[a.index()] > self.depth[b.index()] {
+            let (p, e) = self.parent[a.index()].expect("deeper vertex has parent");
+            path.push(e);
+            a = p;
+        }
+        while self.depth[b.index()] > self.depth[a.index()] {
+            let (p, e) = self.parent[b.index()].expect("deeper vertex has parent");
+            path.push(e);
+            b = p;
+        }
+        while a != b {
+            let (pa, ea) = self.parent[a.index()].expect("vertex below lca has parent");
+            let (pb, eb) = self.parent[b.index()].expect("vertex below lca has parent");
+            path.push(ea);
+            path.push(eb);
+            a = pa;
+            b = pb;
+        }
+        path
+    }
+
+    /// Subtree of `c` (including `c`) via the children lists.
+    fn subtree_of(&self, c: VertexId) -> Vec<VertexId> {
+        let mut sub = vec![c];
+        let mut stack = vec![c];
+        while let Some(w) = stack.pop() {
+            for &ch in &self.children[w.index()] {
+                sub.push(ch);
+                stack.push(ch);
+            }
+        }
+        sub
+    }
+
+    /// Removes an alive tree edge by re-hanging the orphaned subtree on a
+    /// replacement non-tree edge. All checks happen before any mutation.
+    fn remove_tree_edge(&mut self, e: EdgeId) -> TreeRemove {
+        let edge = self.graph.edge(e);
+        let (eu, ev) = (edge.u(), edge.v());
+        // The child endpoint is the one whose parent edge is e.
+        let c = if self.parent[eu.index()].is_some_and(|(_, pe)| pe == e) {
+            eu
+        } else {
+            debug_assert!(self.parent[ev.index()].is_some_and(|(_, pe)| pe == e));
+            ev
+        };
+        let p = self.parent[c.index()]
+            .expect("tree-edge child has parent")
+            .0;
+
+        let sub = self.subtree_of(c);
+        let (c_pre, c_post) = (self.pre[c.index()], self.post[c.index()]);
+        let in_sub = |w: VertexId, pre: &[u32]| c_pre <= pre[w.index()] && pre[w.index()] <= c_post;
+
+        // Replacement search: an alive non-tree edge from the subtree to
+        // the rest of the alive graph.
+        let mut replacement: Option<(VertexId, VertexId, EdgeId)> = None;
+        'search: for &w in &sub {
+            for nb in self.graph.neighbors(w) {
+                if nb.edge != e
+                    && self.is_alive_edge(nb.edge)
+                    && !self.is_tree[nb.edge.index()]
+                    && self.alive_vertex[nb.vertex.index()]
+                    && !in_sub(nb.vertex, &self.pre)
+                {
+                    replacement = Some((w, nb.vertex, nb.edge));
+                    break 'search;
+                }
+            }
+        }
+        let Some((x, y, rep)) = replacement else {
+            return TreeRemove::WouldDisconnect;
+        };
+
+        // Gap check (still no mutation): the re-hung subtree needs 2k
+        // fresh DFS times strictly between y's deepest existing child
+        // interval and post(y).
+        let k = sub.len() as u64;
+        let low = self.children[y.index()]
+            .iter()
+            .map(|ch| self.post[ch.index()])
+            .max()
+            .unwrap_or(0)
+            .max(self.pre[y.index()]);
+        let high = self.post[y.index()];
+        let avail = (high as u64).saturating_sub(low as u64).saturating_sub(1);
+        let step = avail / (2 * k);
+        if step == 0 {
+            return TreeRemove::NeedRebuild;
+        }
+
+        // --- Mutation starts here ---
+
+        // φ repair: XOR φ(e) along the fundamental cycle of the
+        // replacement edge (tree path x..y plus rep itself). The path
+        // contains e, so φ(e) self-cancels to zero; every circulation is
+        // preserved because we added a cycle's characteristic vector.
+        let cyc = self.phi[e.index()].clone();
+        if !cyc.is_zero() {
+            for t in self.tree_path(x, y) {
+                self.phi[t.index()].xor_assign(&cyc);
+                self.dirty_edge[t.index()] = true;
+            }
+            self.phi[rep.index()].xor_assign(&cyc);
+        }
+        debug_assert!(self.phi[e.index()].is_zero());
+
+        // Drop e from the tree and the alive set.
+        self.children[p.index()].retain(|&w| w != c);
+        self.parent[c.index()] = None;
+        self.kill_edge(e);
+
+        // Reverse the parent chain x → … → c so the subtree hangs off x.
+        let mut chain = vec![x];
+        let mut chain_edges = Vec::new();
+        let mut w = x;
+        while w != c {
+            let (pw, ew) = self.parent[w.index()].expect("chain inside subtree");
+            chain_edges.push(ew);
+            chain.push(pw);
+            w = pw;
+        }
+        for i in 0..chain_edges.len() {
+            self.children[chain[i + 1].index()].retain(|&z| z != chain[i]);
+        }
+        for i in 0..chain_edges.len() {
+            self.parent[chain[i + 1].index()] = Some((chain[i], chain_edges[i]));
+            self.children[chain[i].index()].push(chain[i + 1]);
+        }
+        self.parent[x.index()] = Some((y, rep));
+        self.children[y.index()].push(x);
+        self.is_tree[rep.index()] = true;
+        self.dirty_edge[rep.index()] = true;
+
+        // Renumber the subtree into the gap under y with stride `step`.
+        let mut slot = 0u64;
+        let mut next_time = || {
+            slot += 1;
+            (low as u64 + slot * step) as u32
+        };
+        self.depth[x.index()] = self.depth[y.index()] + 1;
+        let mut stack = vec![(x, false)];
+        while let Some((w, done)) = stack.pop() {
+            if done {
+                self.post[w.index()] = next_time();
+                continue;
+            }
+            self.pre[w.index()] = next_time();
+            stack.push((w, true));
+            // Push children in reverse so the DFS visits them in order.
+            let kids: Vec<VertexId> = self.children[w.index()].clone();
+            for &ch in kids.iter().rev() {
+                self.depth[ch.index()] = self.depth[w.index()] + 1;
+                stack.push((ch, false));
+            }
+        }
+        debug_assert_eq!(slot, 2 * k);
+        debug_assert!(self.post[x.index()] < high);
+
+        // Dirty marking: every subtree vertex moved, so its own label and
+        // every alive incident edge label (which embeds endpoint ancestry)
+        // changed.
+        for &w in &sub {
+            self.dirty_vertex[w.index()] = true;
+            for nb in self.graph.neighbors(w) {
+                if self.is_alive_edge(nb.edge) {
+                    self.dirty_edge[nb.edge.index()] = true;
+                }
+            }
+        }
+        TreeRemove::Done
+    }
+
+    /// Full relabel of the alive graph with a freshly derived seed: new
+    /// spanning tree (BFS from the lowest alive id), spread DFS numbering,
+    /// and a fresh circulation bank. Sets `all_dirty`.
+    fn relabel_from_scratch(&mut self) {
+        self.relabels += 1;
+        let seed = self.seed.derive(0x11FE).derive(self.relabels);
+        let root = self
+            .alive_vertices()
+            .next()
+            .expect("relabel requires an alive vertex");
+        self.root = root;
+
+        let forbidden = self.forbidden_base();
+        let bfs = traversal::bfs(&self.graph, root, &forbidden);
+        debug_assert!(
+            (0..self.graph.num_vertices())
+                .filter(|&i| self.alive_vertex[i])
+                .all(|i| bfs.dist[i].is_some()),
+            "alive graph must be connected at relabel time"
+        );
+
+        for v in 0..self.graph.num_vertices() {
+            self.parent[v] = None;
+            self.children[v].clear();
+            self.depth[v] = 0;
+            self.pre[v] = u32::MAX;
+            self.post[v] = u32::MAX;
+        }
+        for v in 0..self.graph.num_vertices() {
+            if !self.alive_vertex[v] {
+                continue;
+            }
+            if let Some((p, e)) = bfs.parent[v] {
+                self.parent[v] = Some((p, e));
+                self.children[p.index()].push(VertexId::new(v));
+            }
+        }
+
+        // Spread DFS numbering: raw times 1..=2k scaled by a stride so
+        // that later re-hangs find spare values between intervals.
+        let k = self.num_alive_vertices() as u64;
+        let stride = ((u32::MAX - 2) as u64 / (2 * k + 2)) as u32;
+        let mut raw = 0u32;
+        let mut stack = vec![(root, false)];
+        while let Some((w, done)) = stack.pop() {
+            if done {
+                raw += 1;
+                self.post[w.index()] = raw * stride;
+                continue;
+            }
+            raw += 1;
+            self.pre[w.index()] = raw * stride;
+            stack.push((w, true));
+            let kids: Vec<VertexId> = self.children[w.index()].clone();
+            for &ch in kids.iter().rev() {
+                self.depth[ch.index()] = self.depth[w.index()] + 1;
+                stack.push((ch, false));
+            }
+        }
+
+        // Tree membership and a fresh circulation bank.
+        for e in 0..self.graph.num_edges() {
+            self.is_tree[e] = false;
+            self.phi[e] = BitVec::zeros(self.b);
+        }
+        for v in 0..self.graph.num_vertices() {
+            if let Some((_, e)) = self.parent[v] {
+                self.is_tree[e.index()] = true;
+            }
+        }
+        let mut stream = seed.stream();
+        for e in 0..self.graph.num_edges() {
+            if self.alive_edge[e] && !self.is_tree[e] {
+                self.phi[e].randomize(&mut stream);
+            }
+        }
+        // Bottom-up aggregate: φ(parent edge of w) = XOR of φ over all
+        // non-tree alive edges with exactly one endpoint in subtree(w).
+        // Computed as in the static scheme: per-vertex XOR of incident
+        // non-tree φ (self-loops skipped), swept bottom-up in reverse
+        // preorder.
+        let mut order: Vec<VertexId> = self.alive_vertices().collect();
+        order.sort_by_key(|v| self.pre[v.index()]);
+        let mut acc: Vec<BitVec> = vec![BitVec::zeros(self.b); self.graph.num_vertices()];
+        for &w in &order {
+            for nb in self.graph.neighbors(w) {
+                if self.is_alive_edge(nb.edge) && !self.is_tree[nb.edge.index()] && nb.vertex != w {
+                    let phi = self.phi[nb.edge.index()].clone();
+                    acc[w.index()].xor_assign(&phi);
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            if let Some((p, e)) = self.parent[w.index()] {
+                self.phi[e.index()] = acc[w.index()].clone();
+                let up = acc[w.index()].clone();
+                acc[p.index()].xor_assign(&up);
+            }
+        }
+
+        self.all_dirty = true;
+    }
+
+    /// Debug check: per bit, alive edges carrying a set bit have even
+    /// degree at every alive vertex (XOR of incident φ is zero
+    /// everywhere, self-loops excluded).
+    #[doc(hidden)]
+    pub fn check_circulation(&self) -> bool {
+        for v in self.alive_vertices() {
+            let mut x = BitVec::zeros(self.b);
+            for nb in self.graph.neighbors(v) {
+                if self.is_alive_edge(nb.edge) && nb.vertex != v {
+                    x.xor_assign(&self.phi[nb.edge.index()]);
+                }
+            }
+            if !x.is_zero() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Debug check: the alive tree edges form a spanning tree of the
+    /// alive graph and ancestry intervals nest properly.
+    #[doc(hidden)]
+    pub fn check_tree(&self) -> bool {
+        let k = self.num_alive_vertices();
+        let tree_edges = (0..self.graph.num_edges())
+            .filter(|&e| self.alive_edge[e] && self.is_tree[e])
+            .count();
+        if tree_edges != k.saturating_sub(1) {
+            return false;
+        }
+        for v in self.alive_vertices() {
+            if self.pre[v.index()] >= self.post[v.index()] {
+                return false;
+            }
+            match self.parent[v.index()] {
+                None => {
+                    if v != self.root {
+                        return false;
+                    }
+                }
+                Some((p, e)) => {
+                    if !self.alive_vertex[p.index()]
+                        || !self.alive_edge[e.index()]
+                        || !self.is_tree[e.index()]
+                    {
+                        return false;
+                    }
+                    // Parent interval strictly contains the child's.
+                    if !(self.pre[p.index()] < self.pre[v.index()]
+                        && self.post[v.index()] < self.post[p.index()])
+                    {
+                        return false;
+                    }
+                    if !self.children[p.index()].contains(&v) {
+                        return false;
+                    }
+                    if self.depth[v.index()] != self.depth[p.index()] + 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Every alive vertex must be reachable from the root via children.
+        if self.subtree_of(self.root).len() != k {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl_graph::generators;
+
+    fn assert_invariants(live: &LiveCycleSpace) {
+        assert!(live.check_tree(), "tree invariant violated");
+        assert!(live.check_circulation(), "circulation invariant violated");
+    }
+
+    /// Ground truth: s-t connectivity on the alive graph.
+    fn alive_connected(live: &LiveCycleSpace, s: VertexId, t: VertexId) -> bool {
+        traversal::connected_avoiding(live.graph(), s, t, &live.forbidden_base())
+    }
+
+    #[test]
+    fn initial_labeling_is_consistent() {
+        for g in [
+            generators::path(8),
+            generators::cycle(9),
+            generators::grid(4, 5),
+            generators::complete(6),
+        ] {
+            let live = LiveCycleSpace::new(&g, 4, Seed::new(7)).unwrap();
+            assert_invariants(&live);
+            assert_eq!(live.num_alive_vertices(), g.num_vertices());
+            assert_eq!(live.num_alive_edges(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let mut b = ftl_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(
+            LiveCycleSpace::new(&g, 4, Seed::new(1)).unwrap_err(),
+            LiveError::Disconnected
+        );
+    }
+
+    #[test]
+    fn non_tree_edge_removal_patches_path_only() {
+        let g = generators::cycle(10);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(3)).unwrap();
+        live.take_delta();
+        // A cycle has exactly one non-tree edge.
+        let nt = live
+            .alive_edges()
+            .find(|&e| !live.is_tree[e.index()])
+            .unwrap();
+        live.remove_edge(nt).unwrap();
+        assert_invariants(&live);
+        let delta = live.take_delta();
+        assert!(!delta.full);
+        assert_eq!(delta.removed_edges, vec![nt]);
+        assert!(delta.vertex_upserts.is_empty(), "no ancestry moved");
+        // All remaining (tree) edges had φ(nt) XORed in.
+        assert_eq!(delta.edge_upserts.len(), 9);
+    }
+
+    #[test]
+    fn tree_edge_removal_rehangs_subtree() {
+        let g = generators::cycle(12);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(5)).unwrap();
+        live.take_delta();
+        let te = live
+            .alive_edges()
+            .find(|&e| live.is_tree[e.index()])
+            .unwrap();
+        live.remove_edge(te).unwrap();
+        assert_invariants(&live);
+        let delta = live.take_delta();
+        assert!(!delta.full, "cycle re-hang should not need a rebuild");
+        assert_eq!(delta.removed_edges, vec![te]);
+        assert!(!delta.vertex_upserts.is_empty(), "subtree renumbered");
+    }
+
+    #[test]
+    fn bridge_removal_rejected_and_state_unchanged() {
+        let g = generators::path(6);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(11)).unwrap();
+        live.take_delta();
+        let before = live.clone();
+        for e in 0..g.num_edges() {
+            assert_eq!(
+                live.remove_edge(EdgeId::new(e)).unwrap_err(),
+                LiveError::WouldDisconnect
+            );
+        }
+        assert_eq!(live.num_alive_edges(), before.num_alive_edges());
+        assert!(live.take_delta().is_empty());
+        assert_invariants(&live);
+    }
+
+    #[test]
+    fn cut_vertex_removal_rejected() {
+        // A star's center is a cut vertex.
+        let g = generators::star(5);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(2)).unwrap();
+        let center = (0..g.num_vertices())
+            .map(VertexId::new)
+            .max_by_key(|&v| g.degree(v))
+            .unwrap();
+        assert_eq!(
+            live.remove_vertex(center).unwrap_err(),
+            LiveError::WouldDisconnect
+        );
+        assert_invariants(&live);
+    }
+
+    #[test]
+    fn vertex_removal_on_complete_graph() {
+        let g = generators::complete(7);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(4)).unwrap();
+        live.take_delta();
+        for i in [6usize, 3, 0] {
+            live.remove_vertex(VertexId::new(i)).unwrap();
+            assert_invariants(&live);
+            let delta = live.take_delta();
+            assert!(delta.removed_vertices.contains(&VertexId::new(i)));
+            assert!(!live.is_alive_vertex(VertexId::new(i)));
+        }
+        assert_eq!(live.num_alive_vertices(), 4);
+        // Every surviving pair is still connected.
+        for s in live.alive_vertices() {
+            for t in live.alive_vertices() {
+                assert!(alive_connected(&live, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn root_removal_forces_full_relabel() {
+        let g = generators::complete(5);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(9)).unwrap();
+        live.take_delta();
+        let root = live.root();
+        live.remove_vertex(root).unwrap();
+        assert_invariants(&live);
+        let delta = live.take_delta();
+        assert!(delta.full, "root removal relabels from scratch");
+        assert!(delta.removed_vertices.contains(&root));
+        assert_ne!(live.root(), root);
+    }
+
+    #[test]
+    fn random_churn_preserves_invariants_grid() {
+        let g = generators::grid(6, 6);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(0xC0FFEE)).unwrap();
+        live.take_delta();
+        let mut rng = Seed::new(0xD1CE).stream();
+        let mut removed = 0usize;
+        let mut attempts = 0usize;
+        while removed < 20 && attempts < 400 {
+            attempts += 1;
+            if rng().is_multiple_of(4) {
+                let alive: Vec<VertexId> = live.alive_vertices().collect();
+                let v = alive[(rng() % alive.len() as u64) as usize];
+                if v != live.root() && live.remove_vertex(v).is_ok() {
+                    removed += 1;
+                }
+            } else {
+                let alive: Vec<EdgeId> = live.alive_edges().collect();
+                let e = alive[(rng() % alive.len() as u64) as usize];
+                if live.remove_edge(e).is_ok() {
+                    removed += 1;
+                }
+            }
+            assert_invariants(&live);
+        }
+        assert!(removed >= 20, "only {removed} removals in {attempts} tries");
+        // Alive graph still fully connected.
+        for s in live.alive_vertices() {
+            for t in live.alive_vertices() {
+                assert!(alive_connected(&live, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_tracking_is_exact_for_non_tree_removal() {
+        let g = generators::grid(5, 5);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(21)).unwrap();
+        live.take_delta();
+        let before = live.clone();
+        let nt = live
+            .alive_edges()
+            .find(|&e| !live.is_tree[e.index()])
+            .unwrap();
+        live.remove_edge(nt).unwrap();
+        let delta = live.take_delta();
+        // Every alive edge NOT in the upsert list must be byte-identical
+        // to its pre-removal label.
+        for e in live.alive_edges() {
+            if !delta.edge_upserts.contains(&e) {
+                assert_eq!(live.edge_label(e), before.edge_label(e));
+            }
+        }
+        for v in live.alive_vertices() {
+            if !delta.vertex_upserts.contains(&v) {
+                assert_eq!(live.vertex_label(v).anc, before.vertex_label(v).anc);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_tracking_is_exact_for_tree_removal() {
+        let g = generators::grid(5, 5);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(33)).unwrap();
+        live.take_delta();
+        let before = live.clone();
+        let te = live
+            .alive_edges()
+            .find(|&e| live.is_tree[e.index()])
+            .unwrap();
+        live.remove_edge(te).unwrap();
+        let delta = live.take_delta();
+        if delta.full {
+            return; // fallback path: everything is an upsert by definition
+        }
+        for e in live.alive_edges() {
+            if !delta.edge_upserts.contains(&e) {
+                assert_eq!(live.edge_label(e), before.edge_label(e), "edge {e:?}");
+            }
+        }
+        for v in live.alive_vertices() {
+            if !delta.vertex_upserts.contains(&v) {
+                assert_eq!(live.vertex_label(v).anc, before.vertex_label(v).anc);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_ops_same_labels() {
+        let g = generators::grid(4, 6);
+        let ops = |live: &mut LiveCycleSpace| {
+            let nt = live
+                .alive_edges()
+                .find(|&e| !live.is_tree[e.index()])
+                .unwrap();
+            live.remove_edge(nt).unwrap();
+            let te = live
+                .alive_edges()
+                .find(|&e| live.is_tree[e.index()])
+                .unwrap();
+            live.remove_edge(te).unwrap();
+        };
+        let mut a = LiveCycleSpace::new(&g, 4, Seed::new(77)).unwrap();
+        let mut b = LiveCycleSpace::new(&g, 4, Seed::new(77)).unwrap();
+        ops(&mut a);
+        ops(&mut b);
+        for e in a.alive_edges() {
+            assert_eq!(a.edge_label(e), b.edge_label(e));
+        }
+        for v in a.alive_vertices() {
+            assert_eq!(a.vertex_label(v).anc, b.vertex_label(v).anc);
+        }
+    }
+
+    #[test]
+    fn self_loop_removal_is_trivial() {
+        let mut b = ftl_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let lp = b.add_edge(1, 1, 1);
+        let g = b.build();
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(8)).unwrap();
+        live.take_delta();
+        live.remove_edge(lp).unwrap();
+        assert_invariants(&live);
+        let delta = live.take_delta();
+        assert_eq!(delta.removed_edges, vec![lp]);
+        assert!(delta.edge_upserts.is_empty());
+    }
+
+    #[test]
+    fn last_vertex_protected() {
+        let g = generators::path(2);
+        let mut live = LiveCycleSpace::new(&g, 4, Seed::new(1)).unwrap();
+        let keep = live.root();
+        let other = live.alive_vertices().find(|&v| v != keep).unwrap();
+        live.remove_vertex(other).unwrap();
+        assert_eq!(live.remove_vertex(keep).unwrap_err(), LiveError::LastVertex);
+    }
+}

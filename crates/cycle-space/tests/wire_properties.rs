@@ -47,4 +47,68 @@ proptest! {
         bytes[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(CycleSpaceEdgeLabel::from_wire(&bytes).is_err());
     }
+
+    /// Truncating either label kind anywhere makes decoding fail.
+    #[test]
+    fn truncation_always_rejected(
+        phi in proptest::collection::vec(any::<bool>(), 0..150),
+        cut in 0usize..64,
+    ) {
+        let v = CycleSpaceVertexLabel { anc: AncestryLabel { pre: 5, post: 6 } };
+        let vb = v.to_wire();
+        prop_assert!(CycleSpaceVertexLabel::from_wire(&vb[..cut.min(vb.len() - 1)]).is_err());
+        let e = CycleSpaceEdgeLabel {
+            phi: BitVec::from_bits(&phi),
+            anc_u: AncestryLabel { pre: 1, post: 8 },
+            anc_v: AncestryLabel { pre: 2, post: 3 },
+            is_tree: false,
+        };
+        let eb = e.to_wire();
+        prop_assert!(CycleSpaceEdgeLabel::from_wire(&eb[..cut.min(eb.len() - 1)]).is_err());
+    }
+
+    /// An inflated declared payload bit-length is rejected with an error,
+    /// never a panic or out-of-bounds read.
+    #[test]
+    fn oversized_declared_bits_rejected(
+        phi in proptest::collection::vec(any::<bool>(), 0..150),
+        extra in 1u32..100_000,
+    ) {
+        let l = CycleSpaceEdgeLabel {
+            phi: BitVec::from_bits(&phi),
+            anc_u: AncestryLabel { pre: 1, post: 8 },
+            anc_v: AncestryLabel { pre: 2, post: 3 },
+            is_tree: true,
+        };
+        let mut bytes = l.to_wire();
+        let declared = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        bytes[4..8].copy_from_slice(&declared.saturating_add(extra).to_le_bytes());
+        prop_assert!(CycleSpaceEdgeLabel::from_wire(&bytes).is_err());
+    }
+
+    /// Arbitrary multi-byte corruption never panics on either label kind.
+    #[test]
+    fn random_corruption_never_panics(
+        phi in proptest::collection::vec(any::<bool>(), 0..150),
+        hits in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..12),
+    ) {
+        let e = CycleSpaceEdgeLabel {
+            phi: BitVec::from_bits(&phi),
+            anc_u: AncestryLabel { pre: 4, post: 9 },
+            anc_v: AncestryLabel { pre: 7, post: 2 },
+            is_tree: false,
+        };
+        let mut bytes = e.to_wire();
+        for &(pos, val) in &hits {
+            let i = pos as usize % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = CycleSpaceEdgeLabel::from_wire(&bytes);
+        let mut vb = CycleSpaceVertexLabel { anc: AncestryLabel { pre: 5, post: 6 } }.to_wire();
+        for &(pos, val) in &hits {
+            let i = pos as usize % vb.len();
+            vb[i] = val;
+        }
+        let _ = CycleSpaceVertexLabel::from_wire(&vb);
+    }
 }

@@ -56,6 +56,11 @@ pub struct EngineConfig {
     /// forces the wire-decoding path on every lookup — the pre-sidecar
     /// behavior, kept for benchmarking the zero-decode win.
     pub use_sidecar: bool,
+    /// Chaos hook: panic while resolving any fault set containing this
+    /// edge. Exercises [`crate::ParEngine`]'s panic containment
+    /// (`catch_unwind` → [`EngineError::WorkerPanicked`]); `None` (the
+    /// default) in all production configurations.
+    pub chaos_panic_edge: Option<EdgeId>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +70,7 @@ impl Default for EngineConfig {
             cache_capacity: 64,
             collect_certificates: false,
             use_sidecar: true,
+            chaos_panic_edge: None,
         }
     }
 }
@@ -81,6 +87,16 @@ pub enum EngineError {
     },
     /// A label was missing from the store or failed to decode.
     Store(StoreError),
+    /// A worker thread panicked mid-batch. The panic was contained
+    /// ([`crate::ParEngine`] catches it at the batch boundary): the batch
+    /// fails with this error, the process survives, and the worker's core
+    /// is reset before the next batch.
+    WorkerPanicked {
+        /// Index of the worker whose closure panicked.
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -90,6 +106,9 @@ impl fmt::Display for EngineError {
                 write!(f, "query names fault set {index}, request has {available}")
             }
             EngineError::Store(e) => write!(f, "label store: {e}"),
+            EngineError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
         }
     }
 }
@@ -133,6 +152,10 @@ pub struct BatchStats {
     pub eliminations: usize,
     /// Fault sets served from the cache.
     pub cache_hits: usize,
+    /// The epoch this batch was served against — 0 for engines over a
+    /// fixed store, the [`crate::Epoch`] number for engines built with
+    /// `over_epochs` (pinned for the whole batch).
+    pub epoch: u64,
 }
 
 /// A batch response: per-query results in request order, plus statistics.
@@ -152,7 +175,12 @@ pub struct BatchResponse {
 #[derive(Debug)]
 pub(crate) struct EngineCore {
     config: EngineConfig,
-    cache: LruCache<Arc<EliminatedFaultSet>>,
+    /// Eliminated bases keyed by the canonical fault-set hash **mixed with
+    /// the store uid**, each entry also carrying the uid it was computed
+    /// against. A basis is only ever a function of the store's `φ` bank,
+    /// so a hit requires the uid to match — otherwise an epoch swap (same
+    /// edge ids, different labels) could serve a stale basis.
+    cache: LruCache<(u64, Arc<EliminatedFaultSet>)>,
     /// Scratch for the per-query `D(s, t)` vector.
     diff: BitVec,
     /// Scratch for canonicalising fault sets.
@@ -208,13 +236,26 @@ impl EngineCore {
         self.ids_scratch.extend_from_slice(faults);
         self.ids_scratch.sort();
         self.ids_scratch.dedup();
-        let hash = canonical_fault_hash(&self.ids_scratch);
-        if let Some(efs) = self.cache.get(hash) {
+        if let Some(chaos) = self.config.chaos_panic_edge {
+            if self.ids_scratch.contains(&chaos) {
+                panic!(
+                    "chaos: injected panic resolving fault set containing edge {}",
+                    chaos.index()
+                );
+            }
+        }
+        // The store uid is folded into the hash so entries from different
+        // epochs land in different slots instead of evicting each other,
+        // and checked on hit so a stale epoch's basis (same ids, different
+        // φ bank) can never be served.
+        let uid = store.uid();
+        let hash = canonical_fault_hash(&self.ids_scratch) ^ ftl_seeded::splitmix64(uid);
+        if let Some((cached_uid, efs)) = self.cache.get(hash) {
             // Guard against 64-bit hash collisions between distinct fault
             // sets: a hit only counts if the canonical ids really match.
             // On a collision the sets simply keep re-eliminating (correct,
             // just slower) as the cache slot ping-pongs.
-            if efs.edge_ids() == self.ids_scratch.as_slice() {
+            if *cached_uid == uid && efs.edge_ids() == self.ids_scratch.as_slice() {
                 stats.cache_hits += 1;
                 return Ok(Arc::clone(efs));
             }
@@ -231,7 +272,7 @@ impl EngineCore {
         };
         let efs = Arc::new(efs);
         stats.eliminations += 1;
-        self.cache.insert(hash, Arc::clone(&efs));
+        self.cache.insert(hash, (uid, Arc::clone(&efs)));
         Ok(efs)
     }
 
@@ -407,9 +448,20 @@ impl EngineCore {
 
 /// The sharded, batch-decoding label-query engine: one [`EngineCore`] over
 /// one (shareable) frozen store.
+///
+/// Built with [`Engine::over_epochs`], the engine re-pins its store from
+/// the [`EpochStore`](crate::EpochStore) at every batch boundary: a batch
+/// always runs against one consistent snapshot, and a concurrent epoch
+/// swap becomes visible at the *next* batch without the reader ever
+/// blocking.
 pub struct Engine {
     store: Arc<LabelStore>,
     core: EngineCore,
+    /// Publication point to re-pin from at batch boundaries, when epoch-
+    /// following; `None` for engines over a fixed store.
+    epochs: Option<Arc<crate::epoch::EpochStore>>,
+    /// Number of the currently pinned epoch (0 when fixed-store).
+    epoch: u64,
 }
 
 impl Engine {
@@ -424,7 +476,40 @@ impl Engine {
         Engine {
             store,
             core: EngineCore::new(config),
+            epochs: None,
+            epoch: 0,
         }
+    }
+
+    /// Builds an epoch-following engine: each batch is served against the
+    /// snapshot current at its start, re-pinned per batch.
+    pub fn over_epochs(epochs: Arc<crate::epoch::EpochStore>, config: EngineConfig) -> Self {
+        let current = epochs.current();
+        Engine {
+            store: Arc::clone(current.store()),
+            core: EngineCore::new(config),
+            epochs: Some(epochs),
+            epoch: current.number(),
+        }
+    }
+
+    /// Re-pins the store from the epoch source, if following one. The
+    /// stale-epoch cache guard lives in the core (keyed by store uid), so
+    /// nothing needs flushing here.
+    fn refresh_epoch(&mut self) {
+        if let Some(epochs) = &self.epochs {
+            let current = epochs.current();
+            self.epoch = current.number();
+            if !Arc::ptr_eq(&self.store, current.store()) {
+                self.store = Arc::clone(current.store());
+            }
+        }
+    }
+
+    /// The epoch the engine is currently pinned to (0 for fixed-store
+    /// engines).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Encodes every label of a cycle-space scheme to the wire format and
@@ -472,7 +557,10 @@ impl Engine {
     /// Fails if a query names a fault set the request does not carry, or if
     /// a referenced label is missing from the store / fails to decode.
     pub fn execute(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
-        self.core.execute(&self.store, req)
+        self.refresh_epoch();
+        let mut resp = self.core.execute(&self.store, req)?;
+        resp.stats.epoch = self.epoch;
+        Ok(resp)
     }
 
     /// The naive serving path — a fresh elimination per query — kept as
@@ -483,7 +571,10 @@ impl Engine {
     ///
     /// Same failure modes as [`Engine::execute`].
     pub fn execute_naive(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
-        self.core.execute_naive(&self.store, req)
+        self.refresh_epoch();
+        let mut resp = self.core.execute_naive(&self.store, req)?;
+        resp.stats.epoch = self.epoch;
+        Ok(resp)
     }
 }
 

@@ -27,6 +27,8 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod epoch;
+pub mod inject;
 pub mod par;
 pub mod scenario;
 pub mod store;
@@ -37,10 +39,16 @@ pub use engine::{
     store_from_cycle_space, BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig,
     EngineError, QueryResult,
 };
+pub use epoch::{full_store_of, Epoch, EpochStore, LiveStore, SwapPath, SwapReport};
+pub use inject::{
+    corrupt_random_bytes, flip_random_bits, oversize_declared_bits, plan_edge_removals,
+    plan_vertex_removals, truncate_record, RemovalModel,
+};
 pub use par::{ParEngine, WorkerStats};
 pub use scenario::{
-    percentile_nearest_rank, run_scenario, FaultModel, QueryEngine, RoundReport, ScenarioConfig,
-    ScenarioReport, StretchStats, WorkerSummary,
+    percentile_nearest_rank, run_churn_scenario, run_scenario, ChurnConfig, ChurnReport,
+    ChurnRoundReport, FaultModel, QueryEngine, RoundReport, ScenarioConfig, ScenarioReport,
+    StretchStats, WorkerSummary,
 };
 pub use store::{
     DecodedSidecar, LabelStore, LabelStoreBuilder, Namespace, SketchTreeEntry, StoreError, StoreKey,

@@ -19,11 +19,22 @@
 //! With the `parallel` feature off (or `num_workers == 1`) the workers run
 //! sequentially on the calling thread — same results, same per-worker
 //! bookkeeping, no threads.
+//!
+//! # Panic containment
+//!
+//! A panic inside a worker (a poisoned query, a chaos injection via
+//! [`EngineConfig::chaos_panic_edge`]) is caught at the batch boundary and
+//! surfaced as [`EngineError::WorkerPanicked`]: the batch fails with an
+//! error result, the *other* workers' chunks complete normally (and are
+//! discarded with the batch), the panicked worker's core is rebuilt, and
+//! the process — and every other in-flight engine over the same store —
+//! survives.
 
 use crate::engine::{BatchRequest, BatchResponse, BatchStats, EngineConfig, EngineError};
 use crate::engine::{Engine, EngineCore, QueryResult};
 use crate::store::LabelStore;
 use ftl_cycle_space::CycleSpaceScheme;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,6 +62,11 @@ pub struct ParEngine {
     config: EngineConfig,
     cores: Vec<EngineCore>,
     stats: Vec<WorkerStats>,
+    /// Publication point to re-pin from at batch boundaries, when epoch-
+    /// following; `None` for engines over a fixed store.
+    epochs: Option<Arc<crate::epoch::EpochStore>>,
+    /// Number of the currently pinned epoch (0 when fixed-store).
+    epoch: u64,
 }
 
 impl ParEngine {
@@ -68,6 +84,40 @@ impl ParEngine {
                     ..WorkerStats::default()
                 })
                 .collect(),
+            epochs: None,
+            epoch: 0,
+        }
+    }
+
+    /// Builds an epoch-following `ParEngine`: each batch is served against
+    /// the snapshot current at its start, re-pinned per batch — a batch in
+    /// flight never observes a swap, and a publisher never waits for one.
+    pub fn over_epochs(
+        epochs: Arc<crate::epoch::EpochStore>,
+        config: EngineConfig,
+        num_workers: usize,
+    ) -> Self {
+        let current = epochs.current();
+        let mut engine = ParEngine::new(Arc::clone(current.store()), config, num_workers);
+        engine.epoch = current.number();
+        engine.epochs = Some(epochs);
+        engine
+    }
+
+    /// The epoch the engine is currently pinned to (0 for fixed-store
+    /// engines).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-pins the store from the epoch source, if following one.
+    fn refresh_epoch(&mut self) {
+        if let Some(epochs) = &self.epochs {
+            let current = epochs.current();
+            self.epoch = current.number();
+            if !Arc::ptr_eq(&self.store, current.store()) {
+                self.store = Arc::clone(current.store());
+            }
         }
     }
 
@@ -125,6 +175,7 @@ impl ParEngine {
     /// Same failure modes as [`Engine::execute`]; the first worker error
     /// (in worker order) is returned.
     pub fn execute(&mut self, req: &BatchRequest) -> Result<BatchResponse, EngineError> {
+        self.refresh_epoch();
         let total = req.queries.len();
         let workers = self.cores.len();
         let chunk = total.div_ceil(workers.max(1)).max(1);
@@ -142,9 +193,26 @@ impl ParEngine {
         // Propagate the first worker error (in worker order) BEFORE
         // committing anything to the cumulative per-worker stats — a batch
         // that errors must not attribute its discarded results to workers.
+        // A panicked worker may have unwound mid-update, so its core is
+        // rebuilt before the error surfaces; the other cores kept their
+        // caches and finished their chunks normally.
+        let mut first_err = None;
         let mut oks = Vec::with_capacity(outputs.len());
-        for out in outputs {
-            oks.push(out?);
+        for (w, out) in outputs.into_iter().enumerate() {
+            match out {
+                Ok(ok) => oks.push(ok),
+                Err(err) => {
+                    if matches!(err, EngineError::WorkerPanicked { .. }) {
+                        self.cores[w] = EngineCore::new(self.config);
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
         }
         // Same failure modes as the serial engine: fault sets no query
         // references still get resolved (and cached, on worker 0), so a
@@ -166,6 +234,7 @@ impl ParEngine {
             fault_sets: req.fault_sets.len(),
             eliminations: unreferenced_stats.eliminations,
             cache_hits: unreferenced_stats.cache_hits,
+            epoch: self.epoch,
         };
         self.stats[0].eliminations += unreferenced_stats.eliminations as u64;
         self.stats[0].cache_hits += unreferenced_stats.cache_hits as u64;
@@ -210,9 +279,13 @@ where
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| match h.join() {
+                    .enumerate()
+                    .map(|(worker, h)| match h.join() {
                         Ok(out) => out,
-                        Err(payload) => std::panic::resume_unwind(payload),
+                        Err(payload) => Err(EngineError::WorkerPanicked {
+                            worker,
+                            message: panic_message(payload.as_ref()),
+                        }),
                     })
                     .collect()
             });
@@ -221,6 +294,26 @@ where
     cores
         .iter_mut()
         .zip(jobs)
-        .map(|(core, range)| run_one(core, range.clone()))
+        .enumerate()
+        .map(|(worker, (core, range))| {
+            let range = range.clone();
+            catch_unwind(AssertUnwindSafe(|| run_one(core, range))).unwrap_or_else(|payload| {
+                Err(EngineError::WorkerPanicked {
+                    worker,
+                    message: panic_message(payload.as_ref()),
+                })
+            })
+        })
         .collect()
+}
+
+/// Best-effort text out of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }

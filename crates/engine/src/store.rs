@@ -23,6 +23,19 @@ use ftl_seeded::Seed;
 use ftl_sketch::{Sketch, SketchEdgeLabel, SketchParams, SketchVertexLabel};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic source of store identities. Every freeze — full, wire-only,
+/// or delta — mints a fresh uid, so two stores with equal content but
+/// different provenance (and possibly different `φ` banks) never compare
+/// equal by identity. The engine's elimination cache keys on this to stay
+/// epoch-correct.
+static NEXT_STORE_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_store_uid() -> u64 {
+    NEXT_STORE_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Which id space a record belongs to.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
@@ -95,7 +108,7 @@ impl From<WireError> for StoreError {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Shard {
     /// Key → byte range into `bytes`.
     index: HashMap<StoreKey, (u32, u32)>,
@@ -164,10 +177,13 @@ impl LabelStoreBuilder {
     /// understands is decoded **once, here**, so the serving hot path never
     /// touches a `WireReader` again.
     pub fn freeze(self) -> LabelStore {
-        let sidecar = DecodedSidecar::build(&self.shards);
+        let shards: Vec<Arc<Shard>> = self.shards.into_iter().map(Arc::new).collect();
+        let sidecar = DecodedSidecar::build(&shards);
         LabelStore {
-            shards: self.shards.into_boxed_slice(),
+            shards: shards.into_boxed_slice(),
             sidecar,
+            uid: fresh_store_uid(),
+            wire_only: false,
         }
     }
 
@@ -179,8 +195,15 @@ impl LabelStoreBuilder {
     /// it.
     pub fn freeze_wire_only(self) -> LabelStore {
         LabelStore {
-            shards: self.shards.into_boxed_slice(),
+            shards: self
+                .shards
+                .into_iter()
+                .map(Arc::new)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             sidecar: DecodedSidecar::default(),
+            uid: fresh_store_uid(),
+            wire_only: true,
         }
     }
 }
@@ -189,14 +212,97 @@ impl LabelStoreBuilder {
 /// concurrency story.
 #[derive(Debug)]
 pub struct LabelStore {
-    shards: Box<[Shard]>,
+    /// Shards are individually reference-counted so a delta-freeze can
+    /// splice the untouched ones from the previous epoch at zero copy
+    /// cost.
+    shards: Box<[Arc<Shard>]>,
     sidecar: DecodedSidecar,
+    /// Process-unique identity of this frozen snapshot (see
+    /// [`LabelStore::uid`]).
+    uid: u64,
+    /// Whether this store was deliberately frozen without a sidecar.
+    wire_only: bool,
 }
 
 impl LabelStore {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Process-unique identity of this frozen snapshot. Two stores never
+    /// share a uid, even across delta-freezes of the same lineage —
+    /// anything derived from label *contents* (e.g. a cached elimination
+    /// basis) must be keyed or guarded by it.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Whether this store was frozen without a decoded sidecar
+    /// ([`LabelStoreBuilder::freeze_wire_only`]); delta-freezes of such a
+    /// store stay wire-only rather than growing a sidecar mid-lineage.
+    pub fn is_wire_only(&self) -> bool {
+        self.wire_only
+    }
+
+    /// Freezes a **successor snapshot**: applies `removals` then `upserts`
+    /// on top of this store, deep-copying only the shards that one of the
+    /// touched keys routes to and splicing every other shard from `self`
+    /// by reference. The sidecar is patched in place when every upsert is
+    /// placeable (dense cycle-space records of matching `φ` width) and
+    /// rebuilt from the new shards otherwise.
+    ///
+    /// The successor has a fresh [`uid`](LabelStore::uid); `self` is
+    /// untouched and keeps serving readers.
+    pub fn delta_freeze(&self, upserts: &[(StoreKey, Vec<u8>)], removals: &[StoreKey]) -> Self {
+        let n = self.shards.len() as u64;
+        let mut touched = vec![false; self.shards.len()];
+        for key in removals {
+            touched[(key.hash() % n) as usize] = true;
+        }
+        for (key, _) in upserts {
+            touched[(key.hash() % n) as usize] = true;
+        }
+        let mut shards: Vec<Arc<Shard>> = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !touched[i] {
+                shards.push(Arc::clone(shard));
+                continue;
+            }
+            let mut fresh = Shard::clone(shard);
+            for key in removals {
+                if (key.hash() % n) as usize == i {
+                    // Bytes stay in the arena, dead; only the index entry
+                    // goes. Churn-heavy lineages should rebuild
+                    // periodically to reclaim them.
+                    fresh.index.remove(key);
+                }
+            }
+            for (key, record) in upserts {
+                if (key.hash() % n) as usize == i {
+                    fresh.put(*key, record);
+                }
+            }
+            shards.push(Arc::new(fresh));
+        }
+        let sidecar = if self.wire_only {
+            DecodedSidecar::default()
+        } else {
+            DecodedSidecar::delta(&self.sidecar, upserts, removals)
+                .unwrap_or_else(|| DecodedSidecar::build(&shards))
+        };
+        LabelStore {
+            shards: shards.into_boxed_slice(),
+            sidecar,
+            uid: fresh_store_uid(),
+            wire_only: self.wire_only,
+        }
+    }
+
+    /// Whether shard `i` is physically shared (same allocation) with the
+    /// given other store — true for shards a delta-freeze spliced.
+    pub fn shares_shard_with(&self, other: &LabelStore, i: usize) -> bool {
+        Arc::ptr_eq(&self.shards[i], &other.shards[i])
     }
 
     /// Total number of stored records.
@@ -278,7 +384,7 @@ pub struct SketchTreeEntry {
 /// wildly sparse id spaces, mixed `φ` widths) simply stay wire-only: every
 /// accessor returns `Option`/`bool` and the engine falls back to the
 /// store's decoding read path for them.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DecodedSidecar {
     /// Ancestry interval per vertex id; aligned with `vertex_present`.
     vertex_anc: Vec<AncestryLabel>,
@@ -318,7 +424,7 @@ fn dense_enough(max_id: usize, count: usize) -> bool {
 impl DecodedSidecar {
     /// Decodes everything it can out of the frozen shards. Called from
     /// [`LabelStoreBuilder::freeze`].
-    fn build(shards: &[Shard]) -> DecodedSidecar {
+    fn build(shards: &[Arc<Shard>]) -> DecodedSidecar {
         let mut vertices: Vec<(u32, AncestryLabel)> = Vec::new();
         let mut cyc_edges: Vec<(u32, CycleSpaceEdgeLabel)> = Vec::new();
         let mut sk_edges: Vec<(u32, SketchEdgeLabel)> = Vec::new();
@@ -350,6 +456,107 @@ impl DecodedSidecar {
         sidecar.place_cycle_edges(cyc_edges);
         sidecar.place_sketch_edges(sk_edges);
         sidecar
+    }
+
+    /// Patches a copy of `prev` with the given removals and upserts, in
+    /// id-stable arrays. Returns `None` — meaning "rebuild from shards
+    /// instead" — whenever an upsert cannot be placed structurally: an id
+    /// beyond the existing arrays (including the empty arrays of a store
+    /// that never placed anything), a `φ` width differing from the bank's,
+    /// or a sketch edge record (whose contiguous bank does not support
+    /// splicing — rebuilt wholesale).
+    ///
+    /// An upsert whose bytes *decode* to nothing placeable (corrupt or
+    /// unknown kind) is not an error: the id is evicted from the sidecar
+    /// and the record serves through the wire path — graceful degradation
+    /// rather than a failed freeze.
+    fn delta(
+        prev: &DecodedSidecar,
+        upserts: &[(StoreKey, Vec<u8>)],
+        removals: &[StoreKey],
+    ) -> Option<DecodedSidecar> {
+        let mut next = prev.clone();
+        let mut scratch = BitVec::zeros(0);
+        fn zero_phi_row(phi: &mut BitMatrix, id: usize, scratch: &mut BitVec) {
+            phi.read_row_into(id, scratch);
+            phi.xor_bitvec_into_row(id, scratch);
+        }
+        fn evict(next: &mut DecodedSidecar, key: StoreKey, scratch: &mut BitVec) {
+            let id = key.id as usize;
+            match key.ns {
+                Namespace::Vertex => {
+                    if let Some(p) = next.vertex_present.get_mut(id) {
+                        *p = false;
+                    }
+                }
+                Namespace::Edge => {
+                    if next.edge_present.get(id).copied().unwrap_or(false) {
+                        zero_phi_row(&mut next.phi, id, scratch);
+                    }
+                    if let Some(p) = next.edge_present.get_mut(id) {
+                        *p = false;
+                    }
+                    if let Some(c) = next.edge_child.get_mut(id) {
+                        *c = (1, 0);
+                    }
+                    if let Some(s) = next.sketch_slot.get_mut(id) {
+                        // The bank slot leaks until the next full build;
+                        // correctness only needs the slot unreachable.
+                        *s = u32::MAX;
+                    }
+                }
+            }
+        }
+
+        for &key in removals {
+            evict(&mut next, key, &mut scratch);
+        }
+        for (key, bytes) in upserts {
+            let id = key.id as usize;
+            match key.ns {
+                Namespace::Vertex => {
+                    if id >= next.vertex_present.len() {
+                        return None;
+                    }
+                    let anc = decode_as::<CycleSpaceVertexLabel>(bytes)
+                        .map(|l| l.anc)
+                        .or_else(|| decode_as::<SketchVertexLabel>(bytes).map(|l| l.anc))
+                        .or_else(|| decode_as::<AncestryLabel>(bytes));
+                    match anc {
+                        Some(anc) => {
+                            next.vertex_anc[id] = anc;
+                            next.vertex_present[id] = true;
+                        }
+                        None => evict(&mut next, *key, &mut scratch),
+                    }
+                }
+                Namespace::Edge => {
+                    if bytes.len() >= ftl_labels::wire::HEADER_BYTES
+                        && bytes[3] == <SketchEdgeLabel as WireLabel>::KIND as u8
+                    {
+                        return None;
+                    }
+                    if id >= next.edge_present.len() {
+                        return None;
+                    }
+                    match decode_as::<CycleSpaceEdgeLabel>(bytes) {
+                        Some(l) => {
+                            if l.phi.len() != next.phi.num_cols() {
+                                return None;
+                            }
+                            if next.edge_present[id] {
+                                zero_phi_row(&mut next.phi, id, &mut scratch);
+                            }
+                            next.phi.xor_bitvec_into_row(id, &l.phi);
+                            next.edge_child[id] = tree_child_interval_of(&l).unwrap_or((1, 0));
+                            next.edge_present[id] = true;
+                        }
+                        None => evict(&mut next, *key, &mut scratch),
+                    }
+                }
+            }
+        }
+        Some(next)
     }
 
     fn place_vertices(&mut self, vertices: Vec<(u32, AncestryLabel)>) {
@@ -731,6 +938,177 @@ mod tests {
         assert!(store
             .vertex_label::<AncestryLabel>(VertexId::new(900_000))
             .is_ok());
+    }
+
+    #[test]
+    fn delta_freeze_splices_untouched_shards_and_mints_fresh_uid() {
+        let mut b = LabelStoreBuilder::new(8);
+        for i in 0..400 {
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1));
+        }
+        let store = b.freeze();
+        let key = StoreKey::vertex(VertexId::new(3));
+        let touched = (key.hash() % 8) as usize;
+        let next = store.delta_freeze(&[(key, anc(99, 100).to_wire())], &[]);
+        assert_ne!(next.uid(), store.uid());
+        for s in 0..8 {
+            assert_eq!(next.shares_shard_with(&store, s), s != touched, "shard {s}");
+        }
+        // The old snapshot is untouched; the new one sees the upsert.
+        assert_eq!(
+            store
+                .vertex_label::<AncestryLabel>(VertexId::new(3))
+                .unwrap(),
+            anc(3, 4)
+        );
+        assert_eq!(
+            next.vertex_label::<AncestryLabel>(VertexId::new(3))
+                .unwrap(),
+            anc(99, 100)
+        );
+        assert_eq!(
+            next.sidecar().vertex_anc(VertexId::new(3)),
+            Some(anc(99, 100))
+        );
+    }
+
+    #[test]
+    fn delta_freeze_matches_from_scratch_build() {
+        use ftl_cycle_space::CycleSpaceScheme;
+        use ftl_seeded::Seed;
+        let g = ftl_graph::generators::grid(4, 4);
+        let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(5)).unwrap();
+        let store = crate::engine::store_from_cycle_space(&scheme, 4);
+
+        // Remove two edges and move one vertex label.
+        let removals = [
+            StoreKey::edge(EdgeId::new(1)),
+            StoreKey::edge(EdgeId::new(7)),
+        ];
+        let mut moved = scheme.vertex_label(VertexId::new(2));
+        moved.anc.pre += 1;
+        let upserts = [(StoreKey::vertex(VertexId::new(2)), moved.to_wire())];
+        let next = store.delta_freeze(&upserts, &removals);
+
+        // From-scratch reference with the same final content.
+        let mut b = LabelStoreBuilder::new(4);
+        for i in 0..g.num_vertices() {
+            let v = VertexId::new(i);
+            if i == 2 {
+                b.put_vertex_label(v, &moved);
+            } else {
+                b.put_vertex_label(v, &scheme.vertex_label(v));
+            }
+        }
+        for i in 0..g.num_edges() {
+            if i == 1 || i == 7 {
+                continue;
+            }
+            let e = EdgeId::new(i);
+            b.put_edge_label(e, &scheme.edge_label(e));
+        }
+        let reference = b.freeze();
+
+        assert_eq!(next.len(), reference.len());
+        let mut a_phi = BitVec::zeros(0);
+        let mut b_phi = BitVec::zeros(0);
+        for i in 0..g.num_vertices() {
+            let v = VertexId::new(i);
+            assert_eq!(
+                next.get_bytes(StoreKey::vertex(v)),
+                reference.get_bytes(StoreKey::vertex(v))
+            );
+            assert_eq!(
+                next.sidecar().vertex_anc(v),
+                reference.sidecar().vertex_anc(v)
+            );
+        }
+        for i in 0..g.num_edges() {
+            let e = EdgeId::new(i);
+            assert_eq!(
+                next.get_bytes(StoreKey::edge(e)),
+                reference.get_bytes(StoreKey::edge(e)),
+                "edge {i}"
+            );
+            assert_eq!(next.sidecar().has_edge(e), reference.sidecar().has_edge(e));
+            assert_eq!(
+                next.sidecar().tree_child_interval(e),
+                reference.sidecar().tree_child_interval(e)
+            );
+            if next.sidecar().has_edge(e) {
+                assert!(next.sidecar().read_phi_into(e, &mut a_phi));
+                assert!(reference.sidecar().read_phi_into(e, &mut b_phi));
+                assert_eq!(a_phi, b_phi, "phi of edge {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_freeze_evicts_undecodable_upsert_but_serves_wire() {
+        use ftl_cycle_space::CycleSpaceScheme;
+        use ftl_seeded::Seed;
+        let g = ftl_graph::generators::cycle(6);
+        let scheme = CycleSpaceScheme::label(&g, 2, Seed::new(3)).unwrap();
+        let store = crate::engine::store_from_cycle_space(&scheme, 2);
+        assert!(store.sidecar().has_edge(EdgeId::new(0)));
+
+        // Upsert bytes that fail to decode: sidecar eviction, not a panic,
+        // and the wire path serves (and surfaces) the corrupt record.
+        let mut bad = scheme.edge_label(EdgeId::new(0)).to_wire();
+        bad[0] ^= 0xFF;
+        let next = store.delta_freeze(&[(StoreKey::edge(EdgeId::new(0)), bad.clone())], &[]);
+        assert!(!next.sidecar().has_edge(EdgeId::new(0)));
+        assert_eq!(
+            next.get_bytes(StoreKey::edge(EdgeId::new(0))),
+            Some(&bad[..])
+        );
+        assert!(matches!(
+            next.edge_label::<CycleSpaceEdgeLabel>(EdgeId::new(0)),
+            Err(StoreError::Wire(_))
+        ));
+        // Other records still decoded.
+        assert!(next.sidecar().has_edge(EdgeId::new(1)));
+    }
+
+    #[test]
+    fn wire_only_store_stays_wire_only_across_delta() {
+        let mut b = LabelStoreBuilder::new(2);
+        b.put_vertex_label(VertexId::new(0), &anc(1, 2));
+        let store = b.freeze_wire_only();
+        assert!(store.is_wire_only());
+        let next = store.delta_freeze(
+            &[(StoreKey::vertex(VertexId::new(1)), anc(3, 4).to_wire())],
+            &[],
+        );
+        assert!(next.is_wire_only());
+        assert_eq!(next.sidecar().decoded_vertices(), 0);
+        assert_eq!(
+            next.vertex_label::<AncestryLabel>(VertexId::new(1))
+                .unwrap(),
+            anc(3, 4)
+        );
+    }
+
+    #[test]
+    fn delta_freeze_removal_then_reinsert_roundtrips() {
+        let mut b = LabelStoreBuilder::new(3);
+        for i in 0..30 {
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1));
+        }
+        let store = b.freeze();
+        let key = StoreKey::vertex(VertexId::new(5));
+        let gone = store.delta_freeze(&[], &[key]);
+        assert_eq!(gone.get_bytes(key), None);
+        assert!(gone.sidecar().vertex_anc(VertexId::new(5)).is_none());
+        assert_eq!(gone.len(), 29);
+        let back = gone.delta_freeze(&[(key, anc(7, 8).to_wire())], &[]);
+        assert_eq!(
+            back.vertex_label::<AncestryLabel>(VertexId::new(5))
+                .unwrap(),
+            anc(7, 8)
+        );
+        assert_eq!(back.sidecar().vertex_anc(VertexId::new(5)), Some(anc(7, 8)));
+        assert_eq!(back.len(), 30);
     }
 
     #[test]

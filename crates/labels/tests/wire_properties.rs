@@ -65,4 +65,38 @@ proptest! {
         let cut = cut.min(bytes.len() - 1);
         prop_assert!(AncestryLabel::from_wire(&bytes[..cut]).is_err());
     }
+
+    /// A header that declares more payload bits than the buffer carries
+    /// ("the length field lies") is rejected with an error, never a panic
+    /// or an out-of-bounds read.
+    #[test]
+    fn oversized_declared_bits_rejected(pre in any::<u32>(), post in any::<u32>(), extra in 1u32..100_000) {
+        let mut bytes = AncestryLabel { pre, post }.to_wire();
+        inflate_declared_bits(&mut bytes, extra);
+        prop_assert!(AncestryLabel::from_wire(&bytes).is_err());
+    }
+
+    /// Arbitrary multi-byte corruption anywhere in a record never panics:
+    /// decoding either cleanly fails or returns some label.
+    #[test]
+    fn random_corruption_never_panics(
+        pre in any::<u32>(),
+        post in any::<u32>(),
+        hits in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..12),
+    ) {
+        let mut bytes = AncestryLabel { pre, post }.to_wire();
+        for &(pos, val) in &hits {
+            let i = pos as usize % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = AncestryLabel::from_wire(&bytes);
+    }
+}
+
+/// Patches the declared payload bit-length (LE u32 at bytes 4..8) upward
+/// without growing the buffer.
+fn inflate_declared_bits(bytes: &mut [u8], extra: u32) {
+    assert!(bytes.len() >= HEADER_BYTES);
+    let declared = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    bytes[4..8].copy_from_slice(&declared.saturating_add(extra).to_le_bytes());
 }

@@ -49,4 +49,35 @@ proptest! {
         bytes[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(RouteLabel::from_wire(&bytes).is_err());
     }
+
+    /// Truncation anywhere, an inflated declared bit-length, and arbitrary
+    /// multi-byte corruption are all survived: decoding errs or returns a
+    /// label, and never panics.
+    #[test]
+    fn corruption_battery_never_panics(
+        id in any::<u32>(),
+        cut in 0usize..64,
+        extra in 1u32..100_000,
+        hits in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..12),
+    ) {
+        let l = RouteLabel {
+            per_scale: vec![(1, SketchVertexLabel {
+                id,
+                anc: AncestryLabel { pre: 3, post: 4 },
+                aux: BitVec::zeros(5),
+            })],
+        };
+        let bytes = l.to_wire();
+        prop_assert!(RouteLabel::from_wire(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+        let mut lying = bytes.clone();
+        let declared = u32::from_le_bytes([lying[4], lying[5], lying[6], lying[7]]);
+        lying[4..8].copy_from_slice(&declared.saturating_add(extra).to_le_bytes());
+        prop_assert!(RouteLabel::from_wire(&lying).is_err());
+        let mut smeared = bytes;
+        for &(pos, val) in &hits {
+            let i = pos as usize % smeared.len();
+            smeared[i] = val;
+        }
+        let _ = RouteLabel::from_wire(&smeared);
+    }
 }

@@ -87,4 +87,53 @@ proptest! {
         bytes[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(SketchEdgeLabel::from_wire(&bytes).is_err());
     }
+
+    /// Truncating a scheme-generated edge or vertex label anywhere makes
+    /// decoding fail.
+    #[test]
+    fn truncation_always_rejected(seed in any::<u64>(), cut in 0usize..256) {
+        let g = ftl_graph::generators::grid(2, 3);
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let eb = scheme.edge_label(ftl_graph::EdgeId::new(0)).to_wire();
+        prop_assert!(SketchEdgeLabel::from_wire(&eb[..cut.min(eb.len() - 1)]).is_err());
+        let vb = scheme.vertex_label(ftl_graph::VertexId::new(0)).to_wire();
+        prop_assert!(SketchVertexLabel::from_wire(&vb[..cut.min(vb.len() - 1)]).is_err());
+    }
+
+    /// An inflated declared payload bit-length is rejected with an error,
+    /// never a panic or out-of-bounds read.
+    #[test]
+    fn oversized_declared_bits_rejected(seed in any::<u64>(), extra in 1u32..100_000) {
+        let g = ftl_graph::generators::grid(2, 3);
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        let mut bytes = scheme.edge_label(ftl_graph::EdgeId::new(0)).to_wire();
+        let declared = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        bytes[4..8].copy_from_slice(&declared.saturating_add(extra).to_le_bytes());
+        prop_assert!(SketchEdgeLabel::from_wire(&bytes).is_err());
+    }
+
+    /// Arbitrary multi-byte corruption never panics on either label kind —
+    /// tree edges (with their subtree-sketch payload) included.
+    #[test]
+    fn random_corruption_never_panics(
+        seed in any::<u64>(),
+        hits in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..16),
+    ) {
+        let g = ftl_graph::generators::grid(2, 3);
+        let scheme = SketchScheme::label(&g, &SketchParams::for_graph(&g), Seed::new(seed)).unwrap();
+        for e in 0..g.num_edges() {
+            let mut bytes = scheme.edge_label(ftl_graph::EdgeId::new(e)).to_wire();
+            for &(pos, val) in &hits {
+                let i = pos as usize % bytes.len();
+                bytes[i] = val;
+            }
+            let _ = SketchEdgeLabel::from_wire(&bytes);
+        }
+        let mut vb = scheme.vertex_label(ftl_graph::VertexId::new(0)).to_wire();
+        for &(pos, val) in &hits {
+            let i = pos as usize % vb.len();
+            vb[i] = val;
+        }
+        let _ = SketchVertexLabel::from_wire(&vb);
+    }
 }
