@@ -1,0 +1,44 @@
+//! Bad-corpus fixture: every engine-scoped rule must fire on this file.
+//! Never compiled — only lexed by `tests/self_test.rs`.
+
+use std::sync::Mutex; // FTL002: Mutex named outside epoch.rs
+
+// ftl-analyzer: hot-path
+pub fn hot_kernel(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new(); // FTL001: Vec::new in a hot fn
+    out.push(helper(xs));
+    out
+}
+
+fn helper(xs: &[u64]) -> u64 {
+    // Reached transitively from hot_kernel — still FTL001.
+    let copy = xs.to_vec(); // FTL001: .to_vec() in the hot closure
+    copy.len() as u64
+}
+
+fn untouched(xs: &[u64]) -> Vec<u64> {
+    // NOT in the hot closure: allocating here is fine for FTL001.
+    xs.to_vec() // cold-alloc-site
+}
+
+pub fn locked(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() // FTL002: .lock(); FTL003: .unwrap()
+}
+
+pub fn serves(xs: &[u64], i: usize) -> u64 {
+    if xs.is_empty() {
+        panic!("empty"); // FTL003: panic!
+    }
+    xs[i] // FTL003: slice index without get
+}
+
+// ftl-analyzer: allow(panic-free) fixture: blessed deliberate panic
+pub fn blessed_panic() {
+    unreachable!("never") // exempted by the fn-level allow above
+}
+
+pub fn hidden_in_strings() -> &'static str {
+    // None of these fire: banned names live in comments and literals only.
+    // .unwrap() panic! Mutex vec![] — just a comment
+    "Mutex .lock() .unwrap() panic! vec![Vec::new()]"
+}

@@ -1,0 +1,8 @@
+//! Fixture: annotation mistakes must surface as findings, never as silent
+//! no-ops.
+
+// ftl-analyzer: allow(hot-allok) typo in the rule key
+pub fn typoed() {}
+
+// ftl-analyzer: hot-path
+pub const DANGLING: u32 = 1; // no fn follows — dangling hot-path marker

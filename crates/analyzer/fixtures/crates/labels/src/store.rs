@@ -1,0 +1,35 @@
+//! Bad-corpus fixture for the labels-scoped rules (FTL003 + FTL004).
+//! Never compiled — only lexed by `tests/self_test.rs`.
+
+use std::collections::HashMap; // FTL004: default-hasher map in label code
+use std::collections::HashSet; // FTL004
+
+pub fn build(keys: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new(); // FTL004 (x2 on this line)
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}
+
+pub fn lookup(map: &HashMap<u64, u64>, k: u64) -> u64 {
+    // FTL004 above; FTL003 below.
+    *map.get(&k).expect("present")
+}
+
+// ftl-analyzer: allow(det-hash) fixture: blessed non-deterministic scratch map
+pub fn blessed(map: &HashMap<u64, u64>) -> usize {
+    map.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope for every rule.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The ratchet baseline: committed per-`(rule, file)` finding allowances.
+//!
+//! `analyzer-baseline.toml` records how many findings of each rule each
+//! file is allowed to carry. `--check` fails only when a file *exceeds*
+//! its allowance (new debt); `--check-baseline` fails when a file is
+//! *under* its allowance or gone (stale baseline — the entry must be
+//! tightened so the debt can never quietly grow back). The file is plain
+//! TOML with one table shape, parsed by hand so the analyzer stays
+//! dependency-free:
+//!
+//! ```toml
+//! [[entry]]
+//! rule = "FTL003"
+//! file = "crates/labels/src/component_tree.rs"
+//! count = 1
+//! ```
+
+use crate::model::RuleId;
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One baseline allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Which rule.
+    pub rule: RuleId,
+    /// Repo-relative file.
+    pub file: String,
+    /// Allowed finding count.
+    pub count: u32,
+}
+
+/// Parses the baseline file. Unknown keys and malformed lines are hard
+/// errors — a baseline that silently drops entries would un-ratchet.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    let mut cur: Option<(Option<RuleId>, Option<String>, Option<u32>)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[entry]]" {
+            finish(&mut cur, &mut entries, lineno)?;
+            cur = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("baseline line {lineno}: expected `key = value`"));
+        };
+        let Some(cur) = cur.as_mut() else {
+            return Err(format!(
+                "baseline line {lineno}: key outside an [[entry]] table"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" => {
+                let code = unquote(value)
+                    .ok_or_else(|| format!("baseline line {lineno}: rule must be a string"))?;
+                let rule = RuleId::from_code(code)
+                    .ok_or_else(|| format!("baseline line {lineno}: unknown rule `{code}`"))?;
+                cur.0 = Some(rule);
+            }
+            "file" => {
+                let file = unquote(value)
+                    .ok_or_else(|| format!("baseline line {lineno}: file must be a string"))?;
+                cur.1 = Some(file.to_string());
+            }
+            "count" => {
+                let count: u32 = value
+                    .parse()
+                    .map_err(|_| format!("baseline line {lineno}: count must be an integer"))?;
+                cur.2 = Some(count);
+            }
+            other => {
+                return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    finish(&mut cur, &mut entries, text.lines().count() + 1)?;
+    Ok(entries)
+}
+
+fn finish(
+    cur: &mut Option<(Option<RuleId>, Option<String>, Option<u32>)>,
+    entries: &mut Vec<Entry>,
+    lineno: usize,
+) -> Result<(), String> {
+    if let Some((rule, file, count)) = cur.take() {
+        let (Some(rule), Some(file), Some(count)) = (rule, file, count) else {
+            return Err(format!(
+                "baseline: entry ending before line {lineno} is missing rule, file, or count"
+            ));
+        };
+        entries.push(Entry { rule, file, count });
+    }
+    Ok(())
+}
+
+fn unquote(v: &str) -> Option<&str> {
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Renders a baseline file deterministically (sorted by rule then file).
+pub fn render(entries: &[Entry]) -> String {
+    let mut sorted: Vec<&Entry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (a.rule, &a.file).cmp(&(b.rule, &b.file)));
+    let mut out = String::from(
+        "# ftl-analyzer ratchet baseline — pre-existing findings the repo is\n\
+         # still allowed to carry. Counts may only shrink: `--check` fails above\n\
+         # a count, `--check-baseline` fails below one (tighten the entry).\n\
+         # Regenerate with `cargo run -p ftl-analyzer -- --write-baseline`.\n",
+    );
+    for e in sorted {
+        out.push_str(&format!(
+            "\n[[entry]]\nrule = \"{}\"\nfile = \"{}\"\ncount = {}\n",
+            e.rule.code(),
+            e.file,
+            e.count
+        ));
+    }
+    out
+}
+
+/// Whether a finding may be absorbed by the baseline. Annotation errors
+/// (typoed rule keys, dangling hot-path markers) never are — baselining a
+/// typo would silently disable the rule it meant to touch.
+pub fn baselinable(f: &Finding) -> bool {
+    !f.message.starts_with("annotation error")
+}
+
+/// Per-`(rule, file)` finding counts.
+pub fn summarize(findings: &[Finding]) -> BTreeMap<(RuleId, String), u32> {
+    let mut map = BTreeMap::new();
+    for f in findings.iter().filter(|f| baselinable(f)) {
+        *map.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Builds a baseline that exactly covers `findings`.
+pub fn from_findings(findings: &[Finding]) -> Vec<Entry> {
+    summarize(findings)
+        .into_iter()
+        .map(|((rule, file), count)| Entry { rule, file, count })
+        .collect()
+}
+
+/// The outcome of applying a baseline to a set of findings.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not absorbed by the baseline — these fail `--check`.
+    /// When a `(rule, file)` group exceeds its allowance, *all* of the
+    /// group's findings are reported (the analyzer cannot know which are
+    /// the new ones).
+    pub violations: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub absorbed: usize,
+}
+
+/// Applies `baseline` to `findings` for `--check`.
+pub fn apply(findings: &[Finding], baseline: &[Entry]) -> Applied {
+    let mut allowed: BTreeMap<(RuleId, &str), u32> = BTreeMap::new();
+    for e in baseline {
+        allowed.insert((e.rule, e.file.as_str()), e.count);
+    }
+    let mut out = Applied::default();
+    let counts = summarize(findings);
+    for f in findings {
+        if !baselinable(f) {
+            out.violations.push(f.clone());
+            continue;
+        }
+        let have = counts.get(&(f.rule, f.file.clone())).copied().unwrap_or(0);
+        let allow = allowed
+            .get(&(f.rule, f.file.as_str()))
+            .copied()
+            .unwrap_or(0);
+        if have > allow {
+            out.violations.push(f.clone());
+        } else {
+            out.absorbed += 1;
+        }
+    }
+    out
+}
+
+/// Staleness report for `--check-baseline`: entries whose allowance is no
+/// longer fully used (actual < allowed), or whose file no longer produces
+/// findings at all. Returns human-readable problems; empty means fresh.
+pub fn staleness(findings: &[Finding], baseline: &[Entry]) -> Vec<String> {
+    let counts = summarize(findings);
+    let mut out = Vec::new();
+    for e in baseline {
+        let actual = counts.get(&(e.rule, e.file.clone())).copied().unwrap_or(0);
+        if actual < e.count {
+            out.push(format!(
+                "stale baseline entry: {} in {} allows {} finding(s) but only {} remain — \
+                 tighten the count (ratchet!)",
+                e.rule.code(),
+                e.file,
+                e.count,
+                actual
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            Entry {
+                rule: RuleId::PanicFree,
+                file: "crates/labels/src/component_tree.rs".into(),
+                count: 1,
+            },
+            Entry {
+                rule: RuleId::HotAlloc,
+                file: "crates/engine/src/engine.rs".into(),
+                count: 2,
+            },
+        ];
+        let text = render(&entries);
+        let mut parsed = parse(&text).unwrap();
+        parsed.sort_by_key(|e| (e.rule, e.file.clone()));
+        let mut want = entries.clone();
+        want.sort_by_key(|e| (e.rule, e.file.clone()));
+        assert_eq!(parsed, want);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_rule_and_bare_keys() {
+        assert!(parse("[[entry]]\nrule = \"FTL999\"\nfile = \"x\"\ncount = 1\n").is_err());
+        assert!(parse("rule = \"FTL001\"\n").is_err());
+        assert!(parse("[[entry]]\nrule = \"FTL001\"\nfile = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn apply_absorbs_up_to_allowance_and_flags_excess() {
+        let baseline = vec![Entry {
+            rule: RuleId::PanicFree,
+            file: "a.rs".into(),
+            count: 2,
+        }];
+        let ok = apply(
+            &[
+                finding(RuleId::PanicFree, "a.rs", 1),
+                finding(RuleId::PanicFree, "a.rs", 2),
+            ],
+            &baseline,
+        );
+        assert!(ok.violations.is_empty());
+        assert_eq!(ok.absorbed, 2);
+
+        let over = apply(
+            &[
+                finding(RuleId::PanicFree, "a.rs", 1),
+                finding(RuleId::PanicFree, "a.rs", 2),
+                finding(RuleId::PanicFree, "a.rs", 3),
+            ],
+            &baseline,
+        );
+        assert_eq!(over.violations.len(), 3, "whole group reported on excess");
+
+        let other = apply(&[finding(RuleId::PanicFree, "b.rs", 1)], &baseline);
+        assert_eq!(
+            other.violations.len(),
+            1,
+            "unlisted file gets zero allowance"
+        );
+    }
+
+    #[test]
+    fn annotation_errors_are_never_absorbed() {
+        let f = Finding {
+            rule: RuleId::HotAlloc,
+            file: "a.rs".into(),
+            line: 1,
+            message: "annotation error: unknown rule `hot-allok`".into(),
+        };
+        let baseline = vec![Entry {
+            rule: RuleId::HotAlloc,
+            file: "a.rs".into(),
+            count: 5,
+        }];
+        let applied = apply(&[f], &baseline);
+        assert_eq!(applied.violations.len(), 1);
+    }
+
+    #[test]
+    fn staleness_flags_underused_entries() {
+        let baseline = vec![Entry {
+            rule: RuleId::PanicFree,
+            file: "a.rs".into(),
+            count: 3,
+        }];
+        let fresh = staleness(
+            &[
+                finding(RuleId::PanicFree, "a.rs", 1),
+                finding(RuleId::PanicFree, "a.rs", 2),
+                finding(RuleId::PanicFree, "a.rs", 3),
+            ],
+            &baseline,
+        );
+        assert!(fresh.is_empty());
+        let stale = staleness(&[finding(RuleId::PanicFree, "a.rs", 1)], &baseline);
+        assert_eq!(stale.len(), 1);
+        let gone = staleness(&[], &baseline);
+        assert_eq!(gone.len(), 1);
+    }
+}

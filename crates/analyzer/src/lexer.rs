@@ -1,0 +1,391 @@
+//! A minimal Rust source lexer: just enough to tell code from non-code.
+//!
+//! The rule engine works on *tokens*, never raw text, so a banned name
+//! inside a string literal, a doc comment, or a `r#"raw string"#` can
+//! never produce a finding. The lexer therefore understands exactly the
+//! constructs that hide text in Rust source:
+//!
+//! * line comments (`//`, `///`, `//!`) — kept separately, because the
+//!   analyzer's own annotations (`// ftl-analyzer: ...`) live in them;
+//! * block comments (`/* */`), including nesting;
+//! * string and byte-string literals with escapes;
+//! * raw (byte) strings `r"…"` / `r#"…"#` / `br##"…"##` at any guard depth;
+//! * char literals, disambiguated from lifetimes (`'a`).
+//!
+//! Everything else becomes an identifier/number token or a one-character
+//! punctuation token, each carrying its 1-based source line.
+
+/// One meaningful source token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier, keyword, or number literal (`fn`, `Vec`, `0x3F`).
+    Ident(String),
+    /// A single punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+    /// A (possibly raw, possibly byte) string literal. The content is
+    /// dropped — only its presence and position matter.
+    Str,
+    /// A char literal (content dropped).
+    Char,
+    /// A lifetime such as `'a` (kept distinct so `'a` never parses as an
+    /// unterminated char literal).
+    Lifetime,
+}
+
+/// A line comment, with its marker stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` (or `///` / `//!`) marker, trimmed.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs at end of
+/// file are tolerated (the token simply ends there) — the analyzer must
+/// never panic on weird input, it only ever *reads* the tree.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let mut text = src[start..j].trim_start_matches(['/', '!']);
+                text = text.trim();
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_string(),
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, like rustc.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Either a char literal ('x', '\n', '\u{1F600}') or a
+                // lifetime ('a, 'static). A lifetime is a quote followed by
+                // an identifier NOT closed by a quote.
+                let tok_line = line;
+                if let Some(next) = char_literal_end(b, i) {
+                    // count newlines inside (multi-byte chars can't contain
+                    // raw newlines, but escapes can't either; be safe)
+                    for &cc in &b[i..next] {
+                        if cc == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i = next;
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        line: tok_line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    i = j.max(i + 1);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line: tok_line,
+                    });
+                }
+            }
+            _ if is_raw_string_start(b, i) => {
+                let tok_line = line;
+                i = skip_raw_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line: tok_line,
+                });
+            }
+            _ if c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i + 2, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line: tok_line,
+                });
+            }
+            _ if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Advances past a (non-raw) string body whose opening quote is already
+/// consumed; returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r"`, `r#"`, `br"`, `br#"` (any guard depth) starts at `i`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if j < b.len() && b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    // Only treat as raw string if `r`/`br` is not part of a longer
+    // identifier (e.g. `for` / `br` variables are handled by the ident
+    // branch ordering: this is called before ident lexing, so check the
+    // preceding char).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Advances past a raw string starting at `i` (at the `r`/`b`); returns the
+/// index after the closing quote+guards.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if i < b.len() && b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut guards = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        guards += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < guards && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == guards {
+                return i + 1 + guards;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If a char literal starts at the quote at `i`, the index just past its
+/// closing quote; `None` when it is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: skip the backslash and the escape head, then scan to the
+        // closing quote (covers \u{...}).
+        j += 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            j += 1;
+        }
+        return if j < b.len() && b[j] == b'\'' {
+            Some(j + 1)
+        } else {
+            None
+        };
+    }
+    // One (possibly multi-byte) char then a closing quote.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1; // UTF-8 continuation bytes
+    }
+    if k < b.len() && b[k] == b'\'' {
+        Some(k + 1)
+    } else {
+        None
+    }
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_content() {
+        let src = r##"
+            // comment with unwrap inside
+            /* block with panic! inside */
+            let s = "vec![1] .unwrap()";
+            let r = r#"collect::<Vec<_>> "quoted" stuff"#;
+            let b = b"Box::new";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "panic" || s == "vec"));
+        assert!(!ids.iter().any(|s| s == "collect" || s == "Box"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// ftl-analyzer: hot-path\nfn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].text, "ftl-analyzer: hot-path");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'z'; x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 1);
+        // The function body after the char literal still lexes.
+        assert!(idents(src).contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let src = "/* outer /* inner */ still comment */\nafter();";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].ident(), Some("after"));
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn raw_string_guard_depths() {
+        let src = r####"let x = r##"has "# inside"##; done();"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "done"]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let src = r#"let s = "a\"b\\"; trailing();"#;
+        assert!(idents(src).contains(&"trailing".to_string()));
+    }
+}

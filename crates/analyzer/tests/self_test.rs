@@ -1,0 +1,267 @@
+//! Analyzer self-tests: every rule fires on the bad-corpus fixtures, the
+//! exemptions hold, and the real workspace tree is clean modulo the
+//! committed ratchet baseline.
+
+use ftl_analyzer::model::RuleId;
+use ftl_analyzer::rules::Finding;
+use ftl_analyzer::{baseline, rules, walk_workspace};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    let files = walk_workspace(&fixture_root()).expect("fixture tree walks");
+    rules::run_all(&files)
+}
+
+/// 1-based line of the first fixture line containing `needle`.
+fn line_of(rel: &str, needle: &str) -> u32 {
+    let text = std::fs::read_to_string(fixture_root().join(rel)).expect("fixture readable");
+    for (i, l) in text.lines().enumerate() {
+        if l.contains(needle) {
+            return (i + 1) as u32;
+        }
+    }
+    panic!("{needle:?} not found in {rel}");
+}
+
+fn has(findings: &[Finding], rule: RuleId, file_suffix: &str, line: u32) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.file.ends_with(file_suffix) && f.line == line)
+}
+
+#[test]
+fn ftl001_fires_on_hot_fn_and_transitive_callee_only() {
+    let findings = fixture_findings();
+    let direct = line_of("crates/engine/src/lib.rs", "Vec::new()");
+    let transitive = line_of("crates/engine/src/lib.rs", "let copy = xs.to_vec()");
+    let cold = line_of("crates/engine/src/lib.rs", "cold-alloc-site");
+    assert!(has(
+        &findings,
+        RuleId::HotAlloc,
+        "engine/src/lib.rs",
+        direct
+    ));
+    assert!(has(
+        &findings,
+        RuleId::HotAlloc,
+        "engine/src/lib.rs",
+        transitive
+    ));
+    // The transitive finding names its provenance.
+    let f = findings
+        .iter()
+        .find(|f| f.rule == RuleId::HotAlloc && f.line == transitive)
+        .unwrap();
+    assert!(f.message.contains("via hot_kernel"), "{}", f.message);
+    // `untouched` allocates but is not in the hot closure.
+    assert!(!has(&findings, RuleId::HotAlloc, "engine/src/lib.rs", cold));
+}
+
+#[test]
+fn ftl002_fires_on_mutex_and_lock_calls_in_engine_only() {
+    let findings = fixture_findings();
+    let use_line = line_of("crates/engine/src/lib.rs", "use std::sync::Mutex");
+    let lock_line = line_of("crates/engine/src/lib.rs", "m.lock()");
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "engine/src/lib.rs",
+        use_line
+    ));
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "engine/src/lib.rs",
+        lock_line
+    ));
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == RuleId::LockFree && f.file.contains("labels")),
+        "FTL002 is engine-scoped"
+    );
+}
+
+#[test]
+fn ftl003_fires_on_unwrap_panic_and_index_but_honors_allow_and_tests() {
+    let findings = fixture_findings();
+    let unwrap = line_of("crates/engine/src/lib.rs", "m.lock().unwrap()");
+    let panic = line_of("crates/engine/src/lib.rs", "panic!(\"empty\")");
+    let index = line_of("crates/engine/src/lib.rs", "xs[i]");
+    let blessed = line_of("crates/engine/src/lib.rs", "unreachable!(\"never\")");
+    let expect = line_of("crates/labels/src/store.rs", ".expect(\"present\")");
+    let test_unwrap = line_of("crates/labels/src/store.rs", "v.unwrap()");
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "engine/src/lib.rs",
+        unwrap
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "engine/src/lib.rs",
+        panic
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "engine/src/lib.rs",
+        index
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "labels/src/store.rs",
+        expect
+    ));
+    assert!(
+        !has(&findings, RuleId::PanicFree, "engine/src/lib.rs", blessed),
+        "fn-level allow(panic-free) exempts the whole body"
+    );
+    assert!(
+        !has(
+            &findings,
+            RuleId::PanicFree,
+            "labels/src/store.rs",
+            test_unwrap
+        ),
+        "cfg(test) regions are out of scope"
+    );
+}
+
+#[test]
+fn ftl004_fires_on_default_hasher_maps_and_honors_allow() {
+    let findings = fixture_findings();
+    let use_map = line_of(
+        "crates/labels/src/store.rs",
+        "use std::collections::HashMap",
+    );
+    let set_line = line_of("crates/labels/src/store.rs", "HashSet::new()");
+    let blessed = line_of("crates/labels/src/store.rs", "pub fn blessed");
+    assert!(has(
+        &findings,
+        RuleId::DetHash,
+        "labels/src/store.rs",
+        use_map
+    ));
+    assert!(has(
+        &findings,
+        RuleId::DetHash,
+        "labels/src/store.rs",
+        set_line
+    ));
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::DetHash && f.line == set_line)
+            .count(),
+        2,
+        "both HashSet mentions on the line fire"
+    );
+    assert!(
+        !has(&findings, RuleId::DetHash, "labels/src/store.rs", blessed),
+        "allow(det-hash) exempts the fn"
+    );
+    // FTL004 never fires in the engine fixture (lib.rs is not store/cache).
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == RuleId::DetHash && f.file.contains("engine")),
+        "FTL004 scope excludes engine files other than store.rs/cache.rs"
+    );
+}
+
+#[test]
+fn annotation_errors_fire_and_cannot_be_baselined() {
+    let findings = fixture_findings();
+    let typo = line_of("crates/engine/src/typo.rs", "allow(hot-allok)");
+    let dangling = line_of("crates/engine/src/typo.rs", "ftl-analyzer: hot-path");
+    let errors: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.file.ends_with("typo.rs"))
+        .collect();
+    assert!(errors
+        .iter()
+        .any(|f| f.line == typo && f.message.contains("hot-allok")));
+    assert!(errors
+        .iter()
+        .any(|f| f.line == dangling && f.message.contains("dangling")));
+    // Even an absurdly generous baseline does not absorb them.
+    let generous = vec![baseline::Entry {
+        rule: RuleId::HotAlloc,
+        file: errors[0].file.clone(),
+        count: 1000,
+    }];
+    let applied = baseline::apply(&findings, &generous);
+    assert!(applied
+        .violations
+        .iter()
+        .any(|f| f.file.ends_with("typo.rs")));
+}
+
+#[test]
+fn banned_names_in_strings_and_comments_never_fire() {
+    let findings = fixture_findings();
+    let line = line_of("crates/engine/src/lib.rs", "just a comment");
+    let lit = line_of("crates/engine/src/lib.rs", "\"Mutex .lock()");
+    assert!(findings
+        .iter()
+        .filter(|f| f.file.ends_with("engine/src/lib.rs"))
+        .all(|f| f.line != line && f.line != lit));
+}
+
+#[test]
+fn real_tree_is_clean_modulo_committed_baseline() {
+    let root = repo_root();
+    let files = walk_workspace(&root).expect("workspace walks");
+    assert!(
+        files.len() > 50,
+        "expected the full workspace, got {}",
+        files.len()
+    );
+    let findings = rules::run_all(&files);
+    let text = std::fs::read_to_string(root.join("analyzer-baseline.toml"))
+        .expect("committed baseline exists");
+    let entries = baseline::parse(&text).expect("baseline parses");
+    let applied = baseline::apply(&findings, &entries);
+    let rendered: Vec<String> = applied.violations.iter().map(Finding::render).collect();
+    assert!(
+        applied.violations.is_empty(),
+        "real tree has findings above baseline:\n{}",
+        rendered.join("\n")
+    );
+    // And the ratchet is fresh: no over-generous entries.
+    let stale = baseline::staleness(&findings, &entries);
+    assert!(stale.is_empty(), "stale baseline:\n{}", stale.join("\n"));
+}
+
+#[test]
+fn hot_set_is_nonempty_on_the_real_tree() {
+    // The seeded hot-path annotations must actually attach — an analyzer
+    // that silently finds zero hot functions enforces nothing.
+    let files = walk_workspace(&repo_root()).expect("workspace walks");
+    let hot: Vec<String> = files
+        .iter()
+        .flat_map(|f| f.functions.iter().filter(|g| g.hot).map(|g| g.name.clone()))
+        .collect();
+    assert!(
+        hot.len() >= 8,
+        "expected the seeded hot set (gf2 kernels, sketch toggles, sidecar \
+         accessors), found only: {hot:?}"
+    );
+    for expected in ["xor_into", "count_ones_and", "express_with", "vertex_anc"] {
+        assert!(
+            hot.iter().any(|n| n == expected),
+            "missing hot fn {expected}"
+        );
+    }
+}

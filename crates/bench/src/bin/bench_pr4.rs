@@ -71,7 +71,8 @@ fn main() {
                 use_sidecar: false,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         for f in [4usize, 16, 64] {
             let f = f.min(g.num_edges());
             let faults = ftl_bench::sample_faults(g, f, &mut rng);
@@ -130,7 +131,8 @@ fn main() {
                 use_sidecar: false,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
 
         eprintln!("[bench_pr4] scenario: steady-traffic");
         let mut steady = ScenarioConfig::new("steady-traffic", 16);

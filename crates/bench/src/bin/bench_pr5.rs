@@ -179,12 +179,13 @@ fn main() {
             use_sidecar: false,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let wire_report =
         run_scenario(&grid, "grid-8x8", &mut wire_engine, None, &steady).expect("wire scenario");
     assert_eq!(wire_report.mismatches, 0, "wire path diverged from truth");
     eprintln!("[bench_pr5] steady-traffic: zero-decode path");
-    let mut sidecar_engine = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut sidecar_engine = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
     let sidecar_report = run_scenario(&grid, "grid-8x8", &mut sidecar_engine, None, &steady)
         .expect("sidecar scenario");
     assert_eq!(
@@ -220,7 +221,8 @@ fn main() {
                     cache_capacity: 0, // isolate batching, not caching
                     ..EngineConfig::default()
                 },
-            );
+            )
+            .unwrap();
             for f in [16usize, 64] {
                 let faults = ftl_bench::sample_faults(&w.graph, f, &mut rng);
                 let queries: Vec<ConnQuery> = (0..QUERIES_PER_SET)
@@ -271,7 +273,7 @@ fn main() {
         cfg.fault_sets_per_round = 1;
         cfg.queries_per_fault_set = 4096;
         cfg.churn = 0.0;
-        let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default());
+        let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
         let serial_report =
             run_scenario(&w.graph, &w.name, &mut serial, None, &cfg).expect("serial scenario");
         human.push(format!(

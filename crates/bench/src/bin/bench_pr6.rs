@@ -73,18 +73,18 @@ fn churn_run(g: &Graph, model: RemovalModel, seed: u64, human: &mut Vec<String>)
     for round in 0..ROUNDS {
         let round_seed = Seed::new(seed).derive(round as u64 + 1);
         // 1. Baseline: full relabel + full freeze of the current topology.
-        let rebuild_ns = store.measure_full_rebuild_ns();
+        let rebuild_ns = store.measure_full_rebuild_ns().unwrap();
         rebuild_ns_all.push(rebuild_ns);
         // 2. The round's removals through the delta pipeline.
         let edges = plan_edge_removals(store.live(), EDGE_REMOVALS_PER_ROUND, model, round_seed);
-        let (edge_swap, edge_skips) = store.remove_edges(&edges);
+        let (edge_swap, edge_skips) = store.remove_edges(&edges).unwrap();
         let vertices = plan_vertex_removals(
             store.live(),
             VERTEX_REMOVALS_PER_ROUND,
             model,
             round_seed.derive(1),
         );
-        let (vertex_swap, vertex_skips) = store.remove_vertices(&vertices);
+        let (vertex_swap, vertex_skips) = store.remove_vertices(&vertices).unwrap();
         let swap_ns = edge_swap.elapsed_ns + vertex_swap.elapsed_ns;
         let mut full_rebuild = false;
         let (mut upserts, mut removals) = (0usize, 0usize);

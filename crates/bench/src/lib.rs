@@ -4,6 +4,8 @@
 //! Each experiment of `EXPERIMENTS.md` (E1–E11) is a binary in `src/bin/`;
 //! run e.g. `cargo run -p ftl-bench --bin table1 --release`.
 
+#![forbid(unsafe_code)]
+
 use ftl_graph::{generators, EdgeId, Graph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -36,6 +36,8 @@
 //! assert!(labeling.decode(&s, &t, &faults));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod connectivity;
 pub mod distance;
 

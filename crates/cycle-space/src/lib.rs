@@ -40,6 +40,8 @@
 //! assert!(ftl_cycle_space::decode(&s, &t, &f));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod circulation;
 pub mod decode;
 pub mod labeling;

@@ -187,6 +187,7 @@ impl EliminatedFaultSet {
     /// intervals — the zero-decode hot path: one containment test per
     /// **tree** fault (non-tree faults were dropped at elimination time)
     /// and one AND-popcount per generator.
+    // ftl-analyzer: hot-path
     pub fn separating_generator_anc(
         &self,
         s: &AncestryLabel,

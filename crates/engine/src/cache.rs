@@ -6,7 +6,7 @@
 //! allocation, O(1) hit/insert/evict — and the cache tracks hit/miss
 //! counters for the engine's batch statistics.
 
-use std::collections::HashMap;
+use ftl_seeded::DetHashMap;
 
 const NIL: usize = usize::MAX;
 
@@ -22,7 +22,9 @@ struct Node<V> {
 #[derive(Debug)]
 pub struct LruCache<V> {
     capacity: usize,
-    map: HashMap<u64, usize>,
+    // Deterministically hashed (FTL004): eviction order must not vary with
+    // std's per-process hasher key.
+    map: DetHashMap<u64, usize>,
     nodes: Vec<Node<V>>,
     head: usize,
     tail: usize,
@@ -36,7 +38,7 @@ impl<V> LruCache<V> {
     pub fn new(capacity: usize) -> Self {
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: DetHashMap::with_capacity_and_hasher(capacity, ftl_seeded::DetBuildHasher),
             nodes: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,

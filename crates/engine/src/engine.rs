@@ -159,7 +159,11 @@ pub struct BatchStats {
 }
 
 /// A batch response: per-query results in request order, plus statistics.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`Engine::execute_into`] clears and refills an existing
+/// response, so a serving loop that keeps one around allocates nothing
+/// once its `results` vector has reached the high-water batch size.
+#[derive(Debug, Clone, Default)]
 pub struct BatchResponse {
     /// `results[i]` answers `queries[i]`.
     pub results: Vec<QueryResult>,
@@ -189,6 +193,10 @@ pub(crate) struct EngineCore {
     naive: CycleSpaceDecoder,
     /// Reusable per-fault-set label buffer for the naive baseline path.
     naive_labels: Vec<Vec<CycleSpaceEdgeLabel>>,
+    /// Reusable resolved-set buffer for [`EngineCore::execute_into`] —
+    /// taken out of `self` for the duration of a batch (it borrows the
+    /// core mutably per entry), returned cleared.
+    resolved_scratch: Vec<Arc<EliminatedFaultSet>>,
 }
 
 impl EngineCore {
@@ -200,6 +208,7 @@ impl EngineCore {
             ids_scratch: Vec::new(),
             naive: CycleSpaceDecoder::new(),
             naive_labels: Vec::new(),
+            resolved_scratch: Vec::new(),
         }
     }
 
@@ -213,6 +222,7 @@ impl EngineCore {
 
     /// The ancestry interval of `v`: a sidecar array read on the hot path,
     /// wire decoding only for records the sidecar could not place.
+    // ftl-analyzer: hot-path
     #[inline]
     fn vertex_anc(&self, store: &LabelStore, v: VertexId) -> Result<AncestryLabel, EngineError> {
         if self.config.use_sidecar {
@@ -220,6 +230,7 @@ impl EngineCore {
                 return Ok(anc);
             }
         }
+        // ftl-analyzer: allow(hot-alloc) wire fallback only for records the sidecar could not place
         Ok(store.vertex_label::<CycleSpaceVertexLabel>(v)?.anc)
     }
 
@@ -238,10 +249,17 @@ impl EngineCore {
         self.ids_scratch.dedup();
         if let Some(chaos) = self.config.chaos_panic_edge {
             if self.ids_scratch.contains(&chaos) {
-                panic!(
-                    "chaos: injected panic resolving fault set containing edge {}",
-                    chaos.index()
-                );
+                // The whole point of this hook is to panic: it exercises
+                // ParEngine's catch_unwind containment. Never set in
+                // production configs.
+                #[allow(clippy::panic)]
+                {
+                    // ftl-analyzer: allow(panic-free) deliberate chaos-injection hook
+                    panic!(
+                        "chaos: injected panic resolving fault set containing edge {}",
+                        chaos.index()
+                    );
+                }
             }
         }
         // The store uid is folded into the hash so entries from different
@@ -306,6 +324,70 @@ impl EngineCore {
         Ok(BatchResponse { results, stats })
     }
 
+    /// [`EngineCore::execute`], but refilling a caller-owned response
+    /// instead of allocating one — the steady-state serving shape. The
+    /// response's `results` vector and the core's resolved-set scratch are
+    /// both reused, so a cache-hot sidecar-served batch performs **zero**
+    /// heap allocations end to end (asserted at runtime by the
+    /// counting-allocator test `alloc_free.rs`, and lexically by
+    /// `ftl-analyzer`'s hot-path rule).
+    pub(crate) fn execute_into(
+        &mut self,
+        store: &LabelStore,
+        req: &BatchRequest,
+        out: &mut BatchResponse,
+    ) -> Result<(), EngineError> {
+        out.results.clear();
+        out.stats = BatchStats {
+            queries: req.queries.len(),
+            fault_sets: req.fault_sets.len(),
+            ..BatchStats::default()
+        };
+        // Take the scratch out of `self` for the batch: filling it needs
+        // `&mut self` per entry, and `answer` needs `&mut self` per query.
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
+        resolved.clear();
+        let mut failed = None;
+        for fs in &req.fault_sets {
+            match self.resolve_fault_set(store, fs, &mut out.stats) {
+                Ok(efs) => resolved.push(efs),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if failed.is_none() {
+            for q in &req.queries {
+                let step = resolved
+                    .get(q.fault_set)
+                    .ok_or(EngineError::UnknownFaultSet {
+                        index: q.fault_set,
+                        available: resolved.len(),
+                    })
+                    .and_then(|efs| {
+                        let efs = Arc::clone(efs);
+                        self.answer(store, &efs, q)
+                    });
+                match step {
+                    Ok(r) => out.results.push(r),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        // Drop the batch's Arcs but keep the vector's capacity, then put
+        // the scratch back — even on the error path.
+        resolved.clear();
+        self.resolved_scratch = resolved;
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// [`EngineCore::execute`] restricted to `queries[range]` — the
     /// per-worker slice of a [`crate::par::ParEngine`] batch. Fault sets
     /// are resolved lazily, so a worker eliminates (and caches) only the
@@ -324,21 +406,26 @@ impl EngineCore {
         let mut resolved: Vec<Option<Arc<EliminatedFaultSet>>> = vec![None; req.fault_sets.len()];
         let mut results = Vec::with_capacity(range.len());
         for q in &req.queries[range] {
-            if q.fault_set >= resolved.len() {
-                return Err(EngineError::UnknownFaultSet {
+            // `resolved` is a local, so cloning an entry's Arc out does
+            // not pin `self`: answer() can still take its scratch mutably.
+            // (The bounds probe and lazy fill collapse into one `get_mut`
+            // so no infallible index ever follows a "just filled" fact.)
+            let slot = resolved
+                .get_mut(q.fault_set)
+                .ok_or(EngineError::UnknownFaultSet {
                     index: q.fault_set,
-                    available: resolved.len(),
-                });
-            }
-            if resolved[q.fault_set].is_none() {
-                let efs =
-                    self.resolve_fault_set(store, &req.fault_sets[q.fault_set], &mut stats)?;
-                resolved[q.fault_set] = Some(efs);
-            }
-            // `resolved` is a local, so borrowing an entry does not pin
-            // `self`: answer() can still take its scratch mutably.
-            let efs = resolved[q.fault_set].as_deref().expect("just resolved");
-            results.push(self.answer(store, efs, q)?);
+                    available: req.fault_sets.len(),
+                })?;
+            let efs = match slot {
+                Some(efs) => Arc::clone(efs),
+                None => {
+                    let efs =
+                        self.resolve_fault_set(store, &req.fault_sets[q.fault_set], &mut stats)?;
+                    resolved[q.fault_set] = Some(Arc::clone(&efs));
+                    efs
+                }
+            };
+            results.push(self.answer(store, &efs, q)?);
         }
         Ok((results, stats))
     }
@@ -346,6 +433,7 @@ impl EngineCore {
     /// Answers one query against its eliminated fault set — the zero-decode
     /// kernel: two ancestry lookups, one interval compare per tree fault,
     /// one AND-popcount per generator.
+    // ftl-analyzer: hot-path
     #[inline]
     fn answer(
         &mut self,
@@ -359,6 +447,7 @@ impl EngineCore {
         Ok(QueryResult {
             connected: gen.is_none(),
             certificate: match gen {
+                // ftl-analyzer: allow(hot-alloc) certificates are opt-in and only built for disconnected queries
                 Some(g) if self.config.collect_certificates => Some(efs.certificate(g)),
                 _ => None,
             },
@@ -516,11 +605,19 @@ impl Engine {
     /// loads the frozen store — the usual way to stand an engine up. A
     /// config with `use_sidecar = false` freezes wire-only, skipping the
     /// sidecar's build time and resident bytes along with its reads.
-    pub fn from_cycle_space(scheme: &CycleSpaceScheme, config: EngineConfig) -> Self {
-        Engine::new(
-            store_from_cycle_space_for(scheme, config.num_shards, config.use_sidecar),
+    ///
+    /// # Errors
+    ///
+    /// Fails if a label is too large for its shard's arena
+    /// ([`StoreError::ArenaOverflow`]).
+    pub fn from_cycle_space(
+        scheme: &CycleSpaceScheme,
+        config: EngineConfig,
+    ) -> Result<Self, StoreError> {
+        Ok(Engine::new(
+            store_from_cycle_space_for(scheme, config.num_shards, config.use_sidecar)?,
             config,
-        )
+        ))
     }
 
     /// The underlying store.
@@ -563,6 +660,30 @@ impl Engine {
         Ok(resp)
     }
 
+    /// [`Engine::execute`], but refilling a caller-owned [`BatchResponse`]
+    /// instead of allocating a fresh one. A serving loop that keeps one
+    /// response around performs zero heap allocations per cache-hot
+    /// sidecar-served batch once its buffers have warmed up (the runtime
+    /// twin of `ftl-analyzer`'s no-alloc hot-path rule; asserted by the
+    /// counting-allocator test).
+    ///
+    /// On error the response's contents are unspecified (its buffers are
+    /// still valid to reuse).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::execute`].
+    pub fn execute_into(
+        &mut self,
+        req: &BatchRequest,
+        out: &mut BatchResponse,
+    ) -> Result<(), EngineError> {
+        self.refresh_epoch();
+        self.core.execute_into(&self.store, req, out)?;
+        out.stats.epoch = self.epoch;
+        Ok(())
+    }
+
     /// The naive serving path — a fresh elimination per query — kept as
     /// the benchmark baseline and differential oracle. See
     /// [`EngineCore::execute_naive`] for the arena-reuse story.
@@ -580,7 +701,15 @@ impl Engine {
 
 /// Wire-encodes every label of a cycle-space scheme into a frozen store
 /// (with the decoded sidecar).
-pub fn store_from_cycle_space(scheme: &CycleSpaceScheme, num_shards: usize) -> LabelStore {
+///
+/// # Errors
+///
+/// Fails if a label is too large for its shard's arena
+/// ([`StoreError::ArenaOverflow`]).
+pub fn store_from_cycle_space(
+    scheme: &CycleSpaceScheme,
+    num_shards: usize,
+) -> Result<LabelStore, StoreError> {
     store_from_cycle_space_for(scheme, num_shards, true)
 }
 
@@ -588,19 +717,19 @@ fn store_from_cycle_space_for(
     scheme: &CycleSpaceScheme,
     num_shards: usize,
     with_sidecar: bool,
-) -> LabelStore {
+) -> Result<LabelStore, StoreError> {
     let mut builder = LabelStoreBuilder::new(num_shards);
     for i in 0..scheme.num_vertices() {
         let v = VertexId::new(i);
-        builder.put_vertex_label(v, &scheme.vertex_label(v));
+        builder.put_vertex_label(v, &scheme.vertex_label(v))?;
     }
     for i in 0..scheme.num_edges() {
         let e = EdgeId::new(i);
-        builder.put_edge_label(e, &scheme.edge_label(e));
+        builder.put_edge_label(e, &scheme.edge_label(e))?;
     }
-    if with_sidecar {
+    Ok(if with_sidecar {
         builder.freeze()
     } else {
         builder.freeze_wire_only()
-    }
+    })
 }

@@ -25,13 +25,50 @@
 //! the next batch — never mid-batch.
 
 use crate::engine::EngineConfig;
-use crate::store::{LabelStore, LabelStoreBuilder, StoreKey};
+use crate::store::{LabelStore, LabelStoreBuilder, StoreError, StoreKey};
 use ftl_cycle_space::{LiveCycleSpace, LiveError};
 use ftl_graph::{EdgeId, Graph, VertexId};
 use ftl_labels::wire::WireLabel;
 use ftl_seeded::Seed;
+use std::fmt;
+// ftl-analyzer: allow(lock-free) the epoch writer side is the one blessed lock in ftl-engine
+#[allow(clippy::disallowed_types)]
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+/// Why a live-store operation failed: either the live labeling rejected
+/// the mutation (topology error) or the successor snapshot could not be
+/// frozen (store error). Either way nothing observable changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveStoreError {
+    /// The live labeling rejected the mutation.
+    Live(LiveError),
+    /// The successor snapshot could not be frozen.
+    Store(StoreError),
+}
+
+impl fmt::Display for LiveStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveStoreError::Live(e) => write!(f, "live labeling: {e}"),
+            LiveStoreError::Store(e) => write!(f, "snapshot freeze: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveStoreError {}
+
+impl From<LiveError> for LiveStoreError {
+    fn from(e: LiveError) -> Self {
+        LiveStoreError::Live(e)
+    }
+}
+
+impl From<StoreError> for LiveStoreError {
+    fn from(e: StoreError) -> Self {
+        LiveStoreError::Store(e)
+    }
+}
 
 /// One immutable published snapshot: an epoch number and its store.
 #[derive(Debug)]
@@ -61,13 +98,19 @@ impl Epoch {
 /// epochs stay alive exactly as long as some reader still pins them.
 #[derive(Debug)]
 pub struct EpochStore {
+    // The one blessed lock in ftl-engine: held for exactly one Arc clone
+    // (readers) or one pointer assignment (the single writer).
+    // ftl-analyzer: allow(lock-free) writer-side publication point
+    #[allow(clippy::disallowed_types)]
     current: RwLock<Arc<Epoch>>,
 }
 
 impl EpochStore {
     /// Wraps an initial store as epoch 1.
+    #[allow(clippy::disallowed_types)]
     pub fn new(store: Arc<LabelStore>) -> Self {
         EpochStore {
+            // ftl-analyzer: allow(lock-free) writer-side construction of the publication slot
             current: RwLock::new(Arc::new(Epoch { number: 1, store })),
         }
     }
@@ -79,11 +122,13 @@ impl EpochStore {
         // A poisoned lock only means a publisher panicked *between*
         // pointer writes, which cannot happen (the swap is a single
         // assignment) — recover rather than propagate.
+        // ftl-analyzer: allow(lock-free) one Arc clone under the read guard, never across a query
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Publishes `store` as the next epoch and returns its number.
     pub fn publish(&self, store: Arc<LabelStore>) -> u64 {
+        // ftl-analyzer: allow(lock-free) single-writer publication swap
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let number = slot.number + 1;
         *slot = Arc::new(Epoch { number, store });
@@ -135,15 +180,20 @@ pub struct LiveStore {
 impl LiveStore {
     /// Labels `graph` against up to `f` faults and publishes the initial
     /// snapshot as epoch 1.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the graph cannot be labeled ([`LiveStoreError::Live`]) or
+    /// the initial snapshot cannot be frozen ([`LiveStoreError::Store`]).
     pub fn new(
         graph: &Graph,
         f: usize,
         seed: Seed,
         config: EngineConfig,
-    ) -> Result<Self, LiveError> {
+    ) -> Result<Self, LiveStoreError> {
         let mut live = LiveCycleSpace::new(graph, f, seed)?;
         live.take_delta(); // the initial all-dirty state is the baseline
-        let store = Arc::new(full_store_of(&live, &config));
+        let store = Arc::new(full_store_of(&live, &config)?);
         Ok(LiveStore {
             live,
             epochs: Arc::new(EpochStore::new(store)),
@@ -168,25 +218,44 @@ impl LiveStore {
     }
 
     /// Removes one edge and publishes the successor snapshot. On error the
-    /// topology, labels, and published epoch are all unchanged.
-    pub fn remove_edge(&mut self, e: EdgeId) -> Result<SwapReport, LiveError> {
+    /// topology, labels, and published epoch are all unchanged (a freeze
+    /// error leaves the previous epoch serving).
+    ///
+    /// # Errors
+    ///
+    /// [`LiveStoreError::Live`] when the removal is rejected (dead edge,
+    /// would disconnect); [`LiveStoreError::Store`] when the successor
+    /// snapshot cannot be frozen.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<SwapReport, LiveStoreError> {
         let t0 = Instant::now();
         self.live.remove_edge(e)?;
-        Ok(self.publish_pending(t0))
+        Ok(self.publish_pending(t0)?)
     }
 
     /// Removes one vertex (and its incident edges) and publishes the
     /// successor snapshot. On error nothing changes.
-    pub fn remove_vertex(&mut self, v: VertexId) -> Result<SwapReport, LiveError> {
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LiveStore::remove_edge`].
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<SwapReport, LiveStoreError> {
         let t0 = Instant::now();
         self.live.remove_vertex(v)?;
-        Ok(self.publish_pending(t0))
+        Ok(self.publish_pending(t0)?)
     }
 
     /// Removes a batch of edges under **one** published swap. Edges whose
     /// removal fails (already dead, would disconnect) are skipped and
     /// returned; the rest are applied.
-    pub fn remove_edges(&mut self, edges: &[EdgeId]) -> (SwapReport, Vec<(EdgeId, LiveError)>) {
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the successor snapshot cannot be frozen — per-edge
+    /// rejections come back in the skip list, not as an error.
+    pub fn remove_edges(
+        &mut self,
+        edges: &[EdgeId],
+    ) -> Result<(SwapReport, Vec<(EdgeId, LiveError)>), StoreError> {
         let t0 = Instant::now();
         let mut skipped = Vec::new();
         for &e in edges {
@@ -194,15 +263,19 @@ impl LiveStore {
                 skipped.push((e, err));
             }
         }
-        (self.publish_pending(t0), skipped)
+        Ok((self.publish_pending(t0)?, skipped))
     }
 
     /// Removes a batch of vertices under one published swap, skipping (and
     /// returning) the ones that cannot be removed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the successor snapshot cannot be frozen.
     pub fn remove_vertices(
         &mut self,
         vertices: &[VertexId],
-    ) -> (SwapReport, Vec<(VertexId, LiveError)>) {
+    ) -> Result<(SwapReport, Vec<(VertexId, LiveError)>), StoreError> {
         let t0 = Instant::now();
         let mut skipped = Vec::new();
         for &v in vertices {
@@ -210,55 +283,64 @@ impl LiveStore {
                 skipped.push((v, err));
             }
         }
-        (self.publish_pending(t0), skipped)
+        Ok((self.publish_pending(t0)?, skipped))
     }
 
     /// Forces a full relabel + full freeze + publish, regardless of dirty
     /// state — the escape hatch for reclaiming dead arena bytes after long
     /// churn, and the honest baseline delta-freezes are measured against.
-    pub fn rebuild(&mut self) -> SwapReport {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rebuilt snapshot cannot be frozen; the previous epoch
+    /// keeps serving.
+    pub fn rebuild(&mut self) -> Result<SwapReport, StoreError> {
         let t0 = Instant::now();
         self.live.relabel();
         self.live.take_delta();
-        let store = Arc::new(full_store_of(&self.live, &self.config));
+        let store = Arc::new(full_store_of(&self.live, &self.config)?);
         let epoch = self.epochs.publish(store);
-        SwapReport {
+        Ok(SwapReport {
             epoch,
             path: SwapPath::FullRebuild,
             elapsed_ns: t0.elapsed().as_nanos() as u64,
-        }
+        })
     }
 
     /// Measures (without publishing or mutating anything observable) what
     /// a from-scratch relabel + full freeze of the current topology costs.
-    pub fn measure_full_rebuild_ns(&self) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the trial freeze fails (nothing was published either way).
+    pub fn measure_full_rebuild_ns(&self) -> Result<u64, StoreError> {
         let t0 = Instant::now();
         let mut clone = self.live.clone();
         clone.relabel();
-        let store = full_store_of(&clone, &self.config);
+        let store = full_store_of(&clone, &self.config)?;
         let ns = t0.elapsed().as_nanos() as u64;
         drop(store);
-        ns
+        Ok(ns)
     }
 
     /// Drains the live delta into a successor snapshot and publishes it.
-    fn publish_pending(&mut self, t0: Instant) -> SwapReport {
+    fn publish_pending(&mut self, t0: Instant) -> Result<SwapReport, StoreError> {
         let delta = self.live.take_delta();
         if delta.is_empty() {
             // Nothing changed (e.g. a batch where every removal was
             // skipped): don't invalidate caches with a no-op epoch.
-            return SwapReport {
+            return Ok(SwapReport {
                 epoch: self.epochs.current().number(),
                 path: SwapPath::Delta {
                     upserts: 0,
                     removals: 0,
                 },
                 elapsed_ns: t0.elapsed().as_nanos() as u64,
-            };
+            });
         }
         let (store, path) = if delta.full {
             (
-                full_store_of(&self.live, &self.config),
+                full_store_of(&self.live, &self.config)?,
                 SwapPath::FullRebuild,
             )
         } else {
@@ -279,31 +361,38 @@ impl LiveStore {
                 removals: removals.len(),
             };
             let prev = self.epochs.current();
-            (prev.store().delta_freeze(&upserts, &removals), path)
+            (prev.store().delta_freeze(&upserts, &removals)?, path)
         };
         let epoch = self.epochs.publish(Arc::new(store));
-        SwapReport {
+        Ok(SwapReport {
             epoch,
             path,
             elapsed_ns: t0.elapsed().as_nanos() as u64,
-        }
+        })
     }
 }
 
 /// Freezes the complete current state of a live labeling into a store.
-pub fn full_store_of(live: &LiveCycleSpace, config: &EngineConfig) -> LabelStore {
+///
+/// # Errors
+///
+/// Fails if a label is too large for its shard's arena.
+pub fn full_store_of(
+    live: &LiveCycleSpace,
+    config: &EngineConfig,
+) -> Result<LabelStore, StoreError> {
     let mut b = LabelStoreBuilder::new(config.num_shards);
     for v in live.alive_vertices() {
-        b.put_vertex_label(v, &live.vertex_label(v));
+        b.put_vertex_label(v, &live.vertex_label(v))?;
     }
     for e in live.alive_edges() {
-        b.put_edge_label(e, &live.edge_label(e));
+        b.put_edge_label(e, &live.edge_label(e))?;
     }
-    if config.use_sidecar {
+    Ok(if config.use_sidecar {
         b.freeze()
     } else {
         b.freeze_wire_only()
-    }
+    })
 }
 
 #[cfg(test)]
@@ -345,7 +434,9 @@ mod tests {
     fn batch_with_only_skips_keeps_epoch() {
         let g = generators::path(5);
         let mut ls = live_store(&g);
-        let (report, skipped) = ls.remove_edges(&[EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)]);
+        let (report, skipped) = ls
+            .remove_edges(&[EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)])
+            .unwrap();
         assert_eq!(skipped.len(), 3, "every path edge is a bridge");
         assert_eq!(report.epoch, 1);
         assert_eq!(
@@ -406,10 +497,10 @@ mod tests {
     fn rebuild_publishes_full_path() {
         let g = generators::grid(4, 4);
         let mut ls = live_store(&g);
-        let report = ls.rebuild();
+        let report = ls.rebuild().unwrap();
         assert_eq!(report.path, SwapPath::FullRebuild);
         assert_eq!(report.epoch, 2);
-        assert!(ls.measure_full_rebuild_ns() > 0);
+        assert!(ls.measure_full_rebuild_ns().unwrap() > 0);
         // measure_full_rebuild_ns publishes nothing.
         assert_eq!(ls.epochs().current().number(), 2);
     }

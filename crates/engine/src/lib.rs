@@ -24,6 +24,8 @@
 //! preserved as [`Engine::execute_naive`] for differential testing and
 //! benchmarking.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod cache;
 pub mod engine;

@@ -32,7 +32,7 @@
 
 use crate::engine::{BatchRequest, BatchResponse, BatchStats, EngineConfig, EngineError};
 use crate::engine::{Engine, EngineCore, QueryResult};
-use crate::store::LabelStore;
+use crate::store::{LabelStore, StoreError};
 use ftl_cycle_space::CycleSpaceScheme;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -125,13 +125,17 @@ impl ParEngine {
     /// multi-worker engine up over it. Like
     /// [`Engine::from_cycle_space`], `use_sidecar = false` freezes the
     /// store wire-only.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a label is too large for its shard's arena.
     pub fn from_cycle_space(
         scheme: &CycleSpaceScheme,
         config: EngineConfig,
         num_workers: usize,
-    ) -> Self {
-        let engine = Engine::from_cycle_space(scheme, config);
-        ParEngine::new(engine.shared_store(), config, num_workers)
+    ) -> Result<Self, StoreError> {
+        let engine = Engine::from_cycle_space(scheme, config)?;
+        Ok(ParEngine::new(engine.shared_store(), config, num_workers))
     }
 
     /// Number of workers.

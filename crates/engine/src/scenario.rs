@@ -484,7 +484,7 @@ pub fn run_scenario(
         });
     }
 
-    batch_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    batch_latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| percentile_nearest_rank(&batch_latencies, p);
     // Per-worker shares: the delta of the engine's cumulative counters
     // across this run.
@@ -707,14 +707,14 @@ pub fn run_churn_scenario(
             cfg.model,
             round_seed.derive(1),
         );
-        let (edge_swap, edge_skipped) = store.remove_edges(&edge_plan);
+        let (edge_swap, edge_skipped) = store.remove_edges(&edge_plan)?;
         let vertex_plan = plan_vertex_removals(
             store.live(),
             cfg.vertex_removals_per_round,
             cfg.model,
             round_seed.derive(2),
         );
-        let (vertex_swap, vertex_skipped) = store.remove_vertices(&vertex_plan);
+        let (vertex_swap, vertex_skipped) = store.remove_vertices(&vertex_plan)?;
         let skipped = edge_skipped.len() + vertex_skipped.len();
         let mut full_rebuild = false;
         let mut delta_upserts = 0usize;
@@ -829,7 +829,7 @@ mod tests {
 
     fn engine_for(g: &Graph, f: usize) -> Engine {
         let scheme = CycleSpaceScheme::label(g, f, Seed::new(77)).unwrap();
-        Engine::from_cycle_space(&scheme, EngineConfig::default())
+        Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap()
     }
 
     #[test]
@@ -863,7 +863,7 @@ mod tests {
         cfg.fault_sets_per_round = 2;
         cfg.queries_per_fault_set = 40;
         cfg.verify = true;
-        let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 3);
+        let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 3).unwrap();
         let par_report = run_scenario(&g, "grid-4x4", &mut par, None, &cfg).unwrap();
         let mut serial = par.serial_engine();
         let serial_report = run_scenario(&g, "grid-4x4", &mut serial, None, &cfg).unwrap();

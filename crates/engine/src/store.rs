@@ -19,9 +19,8 @@ use ftl_gf2::{BitMatrix, BitVec};
 use ftl_graph::{EdgeId, VertexId};
 use ftl_labels::wire::{WireError, WireLabel};
 use ftl_labels::AncestryLabel;
-use ftl_seeded::Seed;
+use ftl_seeded::{DetHashMap, Seed};
 use ftl_sketch::{Sketch, SketchEdgeLabel, SketchParams, SketchVertexLabel};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,13 +81,20 @@ impl StoreKey {
     }
 }
 
-/// Why a typed store read failed.
+/// Why a typed store operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// No record under that key.
     Missing(StoreKey),
     /// The stored bytes failed wire decoding.
     Wire(WireError),
+    /// Writing this record would push its shard's byte arena past the
+    /// `u32` offset space of the index. The store is unchanged; callers
+    /// should rebuild with more shards.
+    ArenaOverflow {
+        /// The key whose record did not fit.
+        key: StoreKey,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -96,6 +102,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Missing(k) => write!(f, "no record for {k:?}"),
             StoreError::Wire(e) => write!(f, "stored record corrupt: {e}"),
+            StoreError::ArenaOverflow { key } => write!(
+                f,
+                "record for {key:?} would overflow its shard's u32 arena offsets; \
+                 raise num_shards"
+            ),
         }
     }
 }
@@ -110,24 +121,27 @@ impl From<WireError> for StoreError {
 
 #[derive(Debug, Default, Clone)]
 struct Shard {
-    /// Key → byte range into `bytes`.
-    index: HashMap<StoreKey, (u32, u32)>,
+    /// Key → byte range into `bytes`. Deterministic hasher: iteration
+    /// order feeds the sidecar build, which must be reproducible run to
+    /// run (FTL004).
+    index: DetHashMap<StoreKey, (u32, u32)>,
     /// All records of this shard, back to back.
     bytes: Vec<u8>,
 }
 
 impl Shard {
-    fn put(&mut self, key: StoreKey, record: &[u8]) {
-        // Offsets are u32 to keep the index small; fail loudly rather than
-        // wrap once a shard's arena outgrows that (add shards instead).
-        // The *end* offset must fit too, or the record would be stored but
-        // unreadable.
+    fn put(&mut self, key: StoreKey, record: &[u8]) -> Result<(), StoreError> {
+        // Offsets are u32 to keep the index small; surface a typed error
+        // rather than wrap once a shard's arena outgrows that (add shards
+        // instead). The *end* offset must fit too, or the record would be
+        // stored but unreadable.
         let start = u32::try_from(self.bytes.len())
             .ok()
             .filter(|_| u32::try_from(self.bytes.len() + record.len()).is_ok())
-            .expect("shard arena exceeds u32 offsets; raise num_shards");
+            .ok_or(StoreError::ArenaOverflow { key })?;
         self.bytes.extend_from_slice(record);
         self.index.insert(key, (start, record.len() as u32));
+        Ok(())
     }
 
     fn get(&self, key: StoreKey) -> Option<&[u8]> {
@@ -157,19 +171,36 @@ impl LabelStoreBuilder {
 
     /// Stores raw wire bytes under a key (overwrites an earlier record for
     /// the same key; its bytes are retained in the arena but unreachable).
-    pub fn put_bytes(&mut self, key: StoreKey, record: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ArenaOverflow`] if the record would push its shard's
+    /// arena past `u32` offsets; the builder is unchanged.
+    pub fn put_bytes(&mut self, key: StoreKey, record: &[u8]) -> Result<(), StoreError> {
         let s = self.shard_of(key);
-        self.shards[s].put(key, record);
+        self.shards[s].put(key, record)
     }
 
     /// Encodes and stores a vertex label.
-    pub fn put_vertex_label<L: WireLabel>(&mut self, v: VertexId, label: &L) {
-        self.put_bytes(StoreKey::vertex(v), &label.to_wire());
+    ///
+    /// # Errors
+    ///
+    /// Same failure mode as [`LabelStoreBuilder::put_bytes`].
+    pub fn put_vertex_label<L: WireLabel>(
+        &mut self,
+        v: VertexId,
+        label: &L,
+    ) -> Result<(), StoreError> {
+        self.put_bytes(StoreKey::vertex(v), &label.to_wire())
     }
 
     /// Encodes and stores an edge label.
-    pub fn put_edge_label<L: WireLabel>(&mut self, e: EdgeId, label: &L) {
-        self.put_bytes(StoreKey::edge(e), &label.to_wire());
+    ///
+    /// # Errors
+    ///
+    /// Same failure mode as [`LabelStoreBuilder::put_bytes`].
+    pub fn put_edge_label<L: WireLabel>(&mut self, e: EdgeId, label: &L) -> Result<(), StoreError> {
+        self.put_bytes(StoreKey::edge(e), &label.to_wire())
     }
 
     /// Seals the shards into an immutable, lock-free-readable store and
@@ -254,7 +285,16 @@ impl LabelStore {
     ///
     /// The successor has a fresh [`uid`](LabelStore::uid); `self` is
     /// untouched and keeps serving readers.
-    pub fn delta_freeze(&self, upserts: &[(StoreKey, Vec<u8>)], removals: &[StoreKey]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ArenaOverflow`] if an upsert would push its shard's
+    /// arena past `u32` offsets; `self` keeps serving unchanged.
+    pub fn delta_freeze(
+        &self,
+        upserts: &[(StoreKey, Vec<u8>)],
+        removals: &[StoreKey],
+    ) -> Result<Self, StoreError> {
         let n = self.shards.len() as u64;
         let mut touched = vec![false; self.shards.len()];
         for key in removals {
@@ -280,7 +320,7 @@ impl LabelStore {
             }
             for (key, record) in upserts {
                 if (key.hash() % n) as usize == i {
-                    fresh.put(*key, record);
+                    fresh.put(*key, record)?;
                 }
             }
             shards.push(Arc::new(fresh));
@@ -291,12 +331,12 @@ impl LabelStore {
             DecodedSidecar::delta(&self.sidecar, upserts, removals)
                 .unwrap_or_else(|| DecodedSidecar::build(&shards))
         };
-        LabelStore {
+        Ok(LabelStore {
             shards: shards.into_boxed_slice(),
             sidecar,
             uid: fresh_store_uid(),
             wire_only: self.wire_only,
-        }
+        })
     }
 
     /// Whether shard `i` is physically shared (same allocation) with the
@@ -634,6 +674,7 @@ impl DecodedSidecar {
 
     /// The decoded ancestry interval of vertex `v`, if its record made it
     /// into the sidecar.
+    // ftl-analyzer: hot-path
     #[inline]
     pub fn vertex_anc(&self, v: VertexId) -> Option<AncestryLabel> {
         let i = v.index();
@@ -650,6 +691,7 @@ impl DecodedSidecar {
     }
 
     /// Whether edge `e` has a decoded cycle-space record.
+    // ftl-analyzer: hot-path
     #[inline]
     pub fn has_edge(&self, e: EdgeId) -> bool {
         self.edge_present.get(e.index()).copied().unwrap_or(false)
@@ -663,6 +705,7 @@ impl DecodedSidecar {
 
     /// Copies `φ(e)` out of the column bank into `out` (reusing its
     /// allocation). Returns `false` when `e` has no decoded record.
+    // ftl-analyzer: hot-path
     #[inline]
     pub fn read_phi_into(&self, e: EdgeId, out: &mut BitVec) -> bool {
         if !self.has_edge(e) {
@@ -674,6 +717,7 @@ impl DecodedSidecar {
 
     /// The precomputed child ancestry interval of `e` when it is a decoded
     /// **tree** edge (see `EliminatedFaultSet`'s per-query sweep).
+    // ftl-analyzer: hot-path
     #[inline]
     pub fn tree_child_interval(&self, e: EdgeId) -> Option<(u32, u32)> {
         let &(pre, post) = self.edge_child.get(e.index())?;
@@ -773,8 +817,10 @@ mod tests {
     fn put_freeze_get_roundtrip() {
         let mut b = LabelStoreBuilder::new(4);
         for i in 0..50u32 {
-            b.put_vertex_label(VertexId::new(i as usize), &anc(i, i + 1));
-            b.put_edge_label(EdgeId::new(i as usize), &anc(1000 + i, 1000 + i + 1));
+            b.put_vertex_label(VertexId::new(i as usize), &anc(i, i + 1))
+                .unwrap();
+            b.put_edge_label(EdgeId::new(i as usize), &anc(1000 + i, 1000 + i + 1))
+                .unwrap();
         }
         let store = b.freeze();
         assert_eq!(store.len(), 100);
@@ -791,7 +837,7 @@ mod tests {
     #[test]
     fn vertex_and_edge_namespaces_are_disjoint() {
         let mut b = LabelStoreBuilder::new(2);
-        b.put_vertex_label(VertexId::new(7), &anc(1, 2));
+        b.put_vertex_label(VertexId::new(7), &anc(1, 2)).unwrap();
         let store = b.freeze();
         assert!(store
             .vertex_label::<AncestryLabel>(VertexId::new(7))
@@ -805,8 +851,8 @@ mod tests {
     #[test]
     fn overwrite_takes_effect() {
         let mut b = LabelStoreBuilder::new(1);
-        b.put_vertex_label(VertexId::new(0), &anc(1, 1));
-        b.put_vertex_label(VertexId::new(0), &anc(9, 9));
+        b.put_vertex_label(VertexId::new(0), &anc(1, 1)).unwrap();
+        b.put_vertex_label(VertexId::new(0), &anc(9, 9)).unwrap();
         let store = b.freeze();
         assert_eq!(
             store
@@ -821,7 +867,8 @@ mod tests {
     fn shards_spread_keys() {
         let mut b = LabelStoreBuilder::new(8);
         for i in 0..800 {
-            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32));
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32))
+                .unwrap();
         }
         let store = b.freeze();
         assert_eq!(store.num_shards(), 8);
@@ -836,7 +883,8 @@ mod tests {
         let mut b = LabelStoreBuilder::new(1);
         let mut bytes = anc(3, 4).to_wire();
         bytes[0] ^= 0xFF;
-        b.put_bytes(StoreKey::vertex(VertexId::new(0)), &bytes);
+        b.put_bytes(StoreKey::vertex(VertexId::new(0)), &bytes)
+            .unwrap();
         let store = b.freeze();
         assert!(matches!(
             store.vertex_label::<AncestryLabel>(VertexId::new(0)),
@@ -854,7 +902,7 @@ mod tests {
         use ftl_seeded::Seed;
         let g = ftl_graph::generators::grid(4, 4);
         let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(5)).unwrap();
-        let store = crate::engine::store_from_cycle_space(&scheme, 4);
+        let store = crate::engine::store_from_cycle_space(&scheme, 4).unwrap();
         let sidecar = store.sidecar();
         assert_eq!(sidecar.decoded_vertices(), g.num_vertices());
         assert_eq!(sidecar.decoded_edges(), g.num_edges());
@@ -900,11 +948,11 @@ mod tests {
         let mut b = LabelStoreBuilder::new(2);
         for i in 0..g.num_vertices() {
             let v = VertexId::new(i);
-            b.put_vertex_label(v, &scheme.vertex_label(v));
+            b.put_vertex_label(v, &scheme.vertex_label(v)).unwrap();
         }
         for i in 0..g.num_edges() {
             let e = EdgeId::new(i);
-            b.put_edge_label(e, &scheme.edge_label(e));
+            b.put_edge_label(e, &scheme.edge_label(e)).unwrap();
         }
         let store = b.freeze();
         let sidecar = store.sidecar();
@@ -930,8 +978,9 @@ mod tests {
     fn sparse_id_space_stays_wire_only() {
         let mut b = LabelStoreBuilder::new(1);
         // Two vertices, ids 3 and 900_000: far too sparse for dense arrays.
-        b.put_vertex_label(VertexId::new(3), &anc(1, 2));
-        b.put_vertex_label(VertexId::new(900_000), &anc(3, 4));
+        b.put_vertex_label(VertexId::new(3), &anc(1, 2)).unwrap();
+        b.put_vertex_label(VertexId::new(900_000), &anc(3, 4))
+            .unwrap();
         let store = b.freeze();
         assert_eq!(store.sidecar().decoded_vertices(), 0);
         // Reads still work through the wire path.
@@ -944,12 +993,15 @@ mod tests {
     fn delta_freeze_splices_untouched_shards_and_mints_fresh_uid() {
         let mut b = LabelStoreBuilder::new(8);
         for i in 0..400 {
-            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1));
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1))
+                .unwrap();
         }
         let store = b.freeze();
         let key = StoreKey::vertex(VertexId::new(3));
         let touched = (key.hash() % 8) as usize;
-        let next = store.delta_freeze(&[(key, anc(99, 100).to_wire())], &[]);
+        let next = store
+            .delta_freeze(&[(key, anc(99, 100).to_wire())], &[])
+            .unwrap();
         assert_ne!(next.uid(), store.uid());
         for s in 0..8 {
             assert_eq!(next.shares_shard_with(&store, s), s != touched, "shard {s}");
@@ -978,7 +1030,7 @@ mod tests {
         use ftl_seeded::Seed;
         let g = ftl_graph::generators::grid(4, 4);
         let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(5)).unwrap();
-        let store = crate::engine::store_from_cycle_space(&scheme, 4);
+        let store = crate::engine::store_from_cycle_space(&scheme, 4).unwrap();
 
         // Remove two edges and move one vertex label.
         let removals = [
@@ -988,16 +1040,16 @@ mod tests {
         let mut moved = scheme.vertex_label(VertexId::new(2));
         moved.anc.pre += 1;
         let upserts = [(StoreKey::vertex(VertexId::new(2)), moved.to_wire())];
-        let next = store.delta_freeze(&upserts, &removals);
+        let next = store.delta_freeze(&upserts, &removals).unwrap();
 
         // From-scratch reference with the same final content.
         let mut b = LabelStoreBuilder::new(4);
         for i in 0..g.num_vertices() {
             let v = VertexId::new(i);
             if i == 2 {
-                b.put_vertex_label(v, &moved);
+                b.put_vertex_label(v, &moved).unwrap();
             } else {
-                b.put_vertex_label(v, &scheme.vertex_label(v));
+                b.put_vertex_label(v, &scheme.vertex_label(v)).unwrap();
             }
         }
         for i in 0..g.num_edges() {
@@ -1005,7 +1057,7 @@ mod tests {
                 continue;
             }
             let e = EdgeId::new(i);
-            b.put_edge_label(e, &scheme.edge_label(e));
+            b.put_edge_label(e, &scheme.edge_label(e)).unwrap();
         }
         let reference = b.freeze();
 
@@ -1049,14 +1101,16 @@ mod tests {
         use ftl_seeded::Seed;
         let g = ftl_graph::generators::cycle(6);
         let scheme = CycleSpaceScheme::label(&g, 2, Seed::new(3)).unwrap();
-        let store = crate::engine::store_from_cycle_space(&scheme, 2);
+        let store = crate::engine::store_from_cycle_space(&scheme, 2).unwrap();
         assert!(store.sidecar().has_edge(EdgeId::new(0)));
 
         // Upsert bytes that fail to decode: sidecar eviction, not a panic,
         // and the wire path serves (and surfaces) the corrupt record.
         let mut bad = scheme.edge_label(EdgeId::new(0)).to_wire();
         bad[0] ^= 0xFF;
-        let next = store.delta_freeze(&[(StoreKey::edge(EdgeId::new(0)), bad.clone())], &[]);
+        let next = store
+            .delta_freeze(&[(StoreKey::edge(EdgeId::new(0)), bad.clone())], &[])
+            .unwrap();
         assert!(!next.sidecar().has_edge(EdgeId::new(0)));
         assert_eq!(
             next.get_bytes(StoreKey::edge(EdgeId::new(0))),
@@ -1073,13 +1127,15 @@ mod tests {
     #[test]
     fn wire_only_store_stays_wire_only_across_delta() {
         let mut b = LabelStoreBuilder::new(2);
-        b.put_vertex_label(VertexId::new(0), &anc(1, 2));
+        b.put_vertex_label(VertexId::new(0), &anc(1, 2)).unwrap();
         let store = b.freeze_wire_only();
         assert!(store.is_wire_only());
-        let next = store.delta_freeze(
-            &[(StoreKey::vertex(VertexId::new(1)), anc(3, 4).to_wire())],
-            &[],
-        );
+        let next = store
+            .delta_freeze(
+                &[(StoreKey::vertex(VertexId::new(1)), anc(3, 4).to_wire())],
+                &[],
+            )
+            .unwrap();
         assert!(next.is_wire_only());
         assert_eq!(next.sidecar().decoded_vertices(), 0);
         assert_eq!(
@@ -1093,15 +1149,18 @@ mod tests {
     fn delta_freeze_removal_then_reinsert_roundtrips() {
         let mut b = LabelStoreBuilder::new(3);
         for i in 0..30 {
-            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1));
+            b.put_vertex_label(VertexId::new(i), &anc(i as u32, i as u32 + 1))
+                .unwrap();
         }
         let store = b.freeze();
         let key = StoreKey::vertex(VertexId::new(5));
-        let gone = store.delta_freeze(&[], &[key]);
+        let gone = store.delta_freeze(&[], &[key]).unwrap();
         assert_eq!(gone.get_bytes(key), None);
         assert!(gone.sidecar().vertex_anc(VertexId::new(5)).is_none());
         assert_eq!(gone.len(), 29);
-        let back = gone.delta_freeze(&[(key, anc(7, 8).to_wire())], &[]);
+        let back = gone
+            .delta_freeze(&[(key, anc(7, 8).to_wire())], &[])
+            .unwrap();
         assert_eq!(
             back.vertex_label::<AncestryLabel>(VertexId::new(5))
                 .unwrap(),
@@ -1112,9 +1171,38 @@ mod tests {
     }
 
     #[test]
+    fn arena_overflow_is_a_typed_error_not_a_panic() {
+        // A shard arena past u32::MAX cannot be built in a test, but the
+        // end-offset check is reachable by faking the precondition: a
+        // record so large the *end* offset overflows. Use a sparse huge
+        // record via the builder's byte path.
+        let mut b = LabelStoreBuilder::new(1);
+        // First fill a small record so the arena is non-empty.
+        b.put_vertex_label(VertexId::new(0), &anc(0, 0)).unwrap();
+        // A record of u32::MAX bytes cannot be allocated here either, so
+        // exercise the typed-error path at the Shard level instead: the
+        // builder must refuse (not panic) once offsets no longer fit.
+        let mut shard = Shard {
+            bytes: vec![0u8; 16],
+            ..Shard::default()
+        };
+        // Pretend the arena is already at the edge by checking the error
+        // shape for an impossible end offset.
+        let key = StoreKey::vertex(VertexId::new(1));
+        // Directly drive `put` with a length that overflows the end check.
+        let huge = u32::MAX as usize - 8;
+        shard.bytes.resize(huge, 0);
+        let err = shard.put(key, &[0u8; 64]).unwrap_err();
+        assert_eq!(err, StoreError::ArenaOverflow { key });
+        // The shard is observably unchanged: no index entry was added.
+        assert!(shard.get(key).is_none());
+        assert!(err.to_string().contains("num_shards"));
+    }
+
+    #[test]
     fn zero_shards_clamped_to_one() {
         let mut b = LabelStoreBuilder::new(0);
-        b.put_vertex_label(VertexId::new(0), &anc(0, 0));
+        b.put_vertex_label(VertexId::new(0), &anc(0, 0)).unwrap();
         let store = b.freeze();
         assert_eq!(store.num_shards(), 1);
         assert_eq!(store.len(), 1);

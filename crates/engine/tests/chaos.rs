@@ -7,6 +7,13 @@
 //! means a clean `EngineError` (never a crash), unaffected sibling
 //! queries, and 100% agreement with BFS ground truth after every swap.
 
+// Test code: panicking asserts and progress prints are the point here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::print_stdout
+)]
 use ftl_cycle_space::CycleSpaceScheme;
 use ftl_engine::{
     corrupt_random_bytes, full_store_of, oversize_declared_bits, plan_edge_removals,
@@ -66,7 +73,7 @@ fn corrupted_record_errors_cleanly_and_spares_other_queries() {
         };
         let g = generators::grid(5, 5);
         let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(11)).unwrap();
-        let good = Arc::new(ftl_engine::store_from_cycle_space(&scheme, 8));
+        let good = Arc::new(ftl_engine::store_from_cycle_space(&scheme, 8).unwrap());
         let victim = EdgeId::new(7);
         // Re-encode the victim's record with heavy random corruption and
         // splice it in through the delta path — the way a disk or network
@@ -74,7 +81,9 @@ fn corrupted_record_errors_cleanly_and_spares_other_queries() {
         let mut bytes = scheme.edge_label(victim).to_wire();
         let smear = bytes.len() * 2;
         corrupt_random_bytes(&mut bytes, smear, Seed::new(0xBAD));
-        let bad = good.delta_freeze(&[(StoreKey::edge(victim), bytes)], &[]);
+        let bad = good
+            .delta_freeze(&[(StoreKey::edge(victim), bytes)], &[])
+            .unwrap();
         let epochs = Arc::new(EpochStore::new(good));
         let mut engine = Engine::over_epochs(Arc::clone(&epochs), config);
         // Pre-swap: the victim decodes fine.
@@ -120,7 +129,7 @@ fn truncated_and_oversized_records_error_not_panic() {
         };
         let g = generators::grid(4, 4);
         let scheme = CycleSpaceScheme::label(&g, 3, Seed::new(12)).unwrap();
-        let good = Arc::new(ftl_engine::store_from_cycle_space(&scheme, 8));
+        let good = Arc::new(ftl_engine::store_from_cycle_space(&scheme, 8).unwrap());
         let victim = EdgeId::new(3);
         let wire = scheme.edge_label(victim).to_wire();
         let corruptions: Vec<Vec<u8>> = vec![
@@ -142,7 +151,9 @@ fn truncated_and_oversized_records_error_not_panic() {
             },
         ];
         for (i, bad_bytes) in corruptions.into_iter().enumerate() {
-            let bad = good.delta_freeze(&[(StoreKey::edge(victim), bad_bytes)], &[]);
+            let bad = good
+                .delta_freeze(&[(StoreKey::edge(victim), bad_bytes)], &[])
+                .unwrap();
             let mut engine = Engine::with_shared(Arc::new(bad), config);
             let out = engine.execute(&batch(vec![victim], &[(0, 15)]));
             assert!(
@@ -167,7 +178,7 @@ fn worker_panic_is_contained_and_engine_recovers() {
         chaos_panic_edge: Some(chaos_edge),
         ..EngineConfig::default()
     };
-    let mut par = ParEngine::from_cycle_space(&scheme, config, 4);
+    let mut par = ParEngine::from_cycle_space(&scheme, config, 4).unwrap();
     // Any fault set containing the chaos edge detonates its resolver.
     let out = par.execute(&batch(
         vec![chaos_edge, EdgeId::new(9)],
@@ -192,7 +203,7 @@ fn worker_panic_is_contained_and_engine_recovers() {
     let resp = par
         .execute(&req)
         .expect("engine must recover after a contained panic");
-    let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
     let reference = serial.execute(&req).unwrap();
     assert_eq!(resp.results, reference.results);
     // And the tripwire still trips — containment is repeatable, not
@@ -347,13 +358,13 @@ fn delta_swaps_match_full_rebuild_bit_for_bit() {
     for round in 0..4 {
         let seed = Seed::new(62).derive(round);
         let edges = plan_edge_removals(store.live(), 3, RemovalModel::Random, seed);
-        store.remove_edges(&edges);
+        store.remove_edges(&edges).unwrap();
         let vertices = plan_vertex_removals(store.live(), 1, RemovalModel::Random, seed.derive(1));
-        store.remove_vertices(&vertices);
+        store.remove_vertices(&vertices).unwrap();
     }
     let live = store.live();
     let delta_built = Arc::clone(store.epochs().current().store());
-    let rebuilt = Arc::new(full_store_of(live, &config));
+    let rebuilt = Arc::new(full_store_of(live, &config).unwrap());
     // Record-level identity over the whole keyspace.
     for v in 0..g.num_vertices() {
         let key = StoreKey::vertex(VertexId::new(v));

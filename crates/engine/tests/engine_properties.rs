@@ -2,6 +2,13 @@
 //! per-query path and with ground-truth graph traversals, certificates must
 //! be genuine cuts, and the cache must actually amortise eliminations.
 
+// Test code: panicking asserts and progress prints are the point here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::print_stdout
+)]
 use ftl_cycle_space::CycleSpaceScheme;
 use ftl_engine::{BatchRequest, ConnQuery, Engine, EngineConfig, EngineError, StoreError};
 use ftl_graph::traversal::{connected_avoiding, forbidden_mask};
@@ -13,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 fn engine_for(g: &Graph, f: usize, seed: u64, config: EngineConfig) -> Engine {
     let scheme = CycleSpaceScheme::label(g, f, Seed::new(seed)).unwrap();
-    Engine::from_cycle_space(&scheme, config)
+    Engine::from_cycle_space(&scheme, config).unwrap()
 }
 
 fn random_fault_sets(g: &Graph, count: usize, f: usize, rng: &mut StdRng) -> Vec<Vec<EdgeId>> {
@@ -262,7 +269,8 @@ fn sidecar_and_wire_paths_agree() {
             collect_certificates: true,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mut wire_only = Engine::from_cycle_space(
         &scheme,
         EngineConfig {
@@ -270,7 +278,8 @@ fn sidecar_and_wire_paths_agree() {
             use_sidecar: false,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(0x51DE);
     for trial in 0..6 {
         let fault_sets = random_fault_sets(&g, 3, 6, &mut rng);
@@ -323,7 +332,8 @@ fn par_engine_matches_serial_engine() {
     let g = generators::grid(5, 4);
     let scheme = CycleSpaceScheme::label(&g, 5, Seed::new(77)).unwrap();
     for workers in [1usize, 2, 3, 7] {
-        let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), workers);
+        let mut par =
+            ParEngine::from_cycle_space(&scheme, EngineConfig::default(), workers).unwrap();
         let mut serial = par.serial_engine();
         let mut rng = StdRng::seed_from_u64(0xBA5E + workers as u64);
         for batch in 0..5 {
@@ -355,7 +365,7 @@ fn threads_sharing_one_frozen_store_agree_with_serial() {
     use std::sync::Arc;
     let g = generators::grid(4, 5);
     let scheme = CycleSpaceScheme::label(&g, 4, Seed::new(12)).unwrap();
-    let mut reference = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut reference = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
     let store = reference.shared_store();
     let mut rng = StdRng::seed_from_u64(0xC0C0);
     let fault_sets = random_fault_sets(&g, 4, 4, &mut rng);
@@ -400,13 +410,13 @@ fn unreferenced_bad_fault_set_rejected_by_both_engines() {
             fault_set: 0, // the bad set (index 1) is never referenced
         }],
     };
-    let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut serial = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
     let serial_err = serial.execute(&req).unwrap_err();
     assert!(matches!(
         serial_err,
         EngineError::Store(StoreError::Missing(_))
     ));
-    let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 2);
+    let mut par = ParEngine::from_cycle_space(&scheme, EngineConfig::default(), 2).unwrap();
     assert_eq!(par.execute(&req).unwrap_err(), serial_err);
 }
 
@@ -420,11 +430,13 @@ fn wire_only_freeze_serves_identically_without_sidecar() {
     let mut builder = LabelStoreBuilder::new(4);
     for i in 0..g.num_vertices() {
         let v = VertexId::new(i);
-        builder.put_vertex_label(v, &scheme.vertex_label(v));
+        builder
+            .put_vertex_label(v, &scheme.vertex_label(v))
+            .unwrap();
     }
     for i in 0..g.num_edges() {
         let e = EdgeId::new(i);
-        builder.put_edge_label(e, &scheme.edge_label(e));
+        builder.put_edge_label(e, &scheme.edge_label(e)).unwrap();
     }
     let store = builder.freeze_wire_only();
     assert_eq!(store.sidecar().decoded_vertices(), 0);
@@ -439,7 +451,7 @@ fn wire_only_freeze_serves_identically_without_sidecar() {
             ..EngineConfig::default()
         },
     );
-    let mut sidecar_engine = Engine::from_cycle_space(&scheme, EngineConfig::default());
+    let mut sidecar_engine = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
     let mut rng = StdRng::seed_from_u64(0xF00);
     let fault_sets = random_fault_sets(&g, 2, 4, &mut rng);
     let queries = random_queries(&g, 80, fault_sets.len(), &mut rng);

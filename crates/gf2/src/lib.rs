@@ -24,6 +24,8 @@
 //! assert!(x.get(0) && x.get(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod reference;
 pub mod solve;

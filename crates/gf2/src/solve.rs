@@ -172,6 +172,7 @@ impl Basis {
     /// # Panics
     ///
     /// Panics if `target` has the wrong dimension.
+    // ftl-analyzer: hot-path
     pub fn express_with(&self, target: &BitVec, scratch: &mut DecodeScratch) -> bool {
         assert_eq!(target.len(), self.dim, "dimension mismatch");
         scratch.work.copy_from(target);

@@ -27,6 +27,8 @@
 //! assert!(ftl_graph::traversal::is_connected(&g));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod generators;
 pub mod graph;

@@ -203,7 +203,10 @@ impl ComponentTree {
         if b == 1 {
             ComponentId(u)
         } else {
-            self.parent[u].expect("exit tuple of a non-last component has a parent")
+            // The exit tuple of a non-last component always records a
+            // parent; degrade to the component itself rather than panic
+            // if the tree were ever corrupt.
+            self.parent[u].unwrap_or(ComponentId(u))
         }
     }
 

@@ -12,6 +12,8 @@
 //!   endpoints alone* in `O(f log f)` time, and locates any vertex's
 //!   component from its ancestry label in `O(log f)` time.
 
+#![forbid(unsafe_code)]
+
 pub mod ancestry;
 pub mod component_tree;
 pub mod wire;

@@ -148,13 +148,17 @@ impl WireWriter {
             return;
         }
         let offset = self.bits % 64;
-        if offset == 0 {
-            self.words.push(word);
-        } else {
-            *self.words.last_mut().expect("offset > 0 implies a word") |= word << offset;
-            if offset + n > 64 {
-                self.words.push(word >> (64 - offset));
+        // `offset > 0` implies a last word exists; spelled as if-let so the
+        // serving path stays panic-free by construction (FTL003), with a
+        // push fallback that keeps the written bits correct regardless.
+        match self.words.last_mut() {
+            Some(last) if offset != 0 => {
+                *last |= word << offset;
+                if offset + n > 64 {
+                    self.words.push(word >> (64 - offset));
+                }
             }
+            _ => self.words.push(word),
         }
         self.bits += n;
     }
@@ -231,7 +235,12 @@ impl WireReader {
             return Err(WireError::UnsupportedVersion(bytes[2]));
         }
         let kind = LabelKind::from_u8(bytes[3]).ok_or(WireError::UnknownKind(bytes[3]))?;
-        let bits = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        // The length check above guarantees 4 bytes; a corrupted-slice
+        // surprise still degrades to an error, never a panic (FTL003).
+        let Ok(len_bytes) = bytes[4..8].try_into() else {
+            return Err(WireError::TooShort);
+        };
+        let bits = u32::from_le_bytes(len_bytes) as usize;
         let payload = &bytes[HEADER_BYTES..];
         if payload.len() != bits.div_ceil(8) {
             return Err(WireError::LengthMismatch);

@@ -1,6 +1,13 @@
 //! Property tests for the wire-format primitives: writer/reader round-trips
 //! at arbitrary bit granularities, and header-corruption rejection.
 
+// Test code: panicking asserts and progress prints are the point here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::print_stdout
+)]
 use ftl_gf2::BitVec;
 use ftl_labels::wire::{WireReader, WireWriter, HEADER_BYTES};
 use ftl_labels::{AncestryLabel, LabelKind, WireLabel};

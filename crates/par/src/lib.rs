@@ -21,6 +21,8 @@
 //! Results are bit-identical either way: every closure is pure in its index
 //! and chunk results are spliced back in order.
 
+#![forbid(unsafe_code)]
+
 /// Default minimum sweep size before threads are spawned. Each
 /// `std::thread::scope` worker costs tens of µs to spawn (there is no
 /// pool), so fine-grained sweeps — items of tens to hundreds of ns, like

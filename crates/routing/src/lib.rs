@@ -33,6 +33,8 @@
 //!   (`--no-default-features`) for a strictly single-threaded build.
 //!   Results are identical either way.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod forbidden_set;
 pub mod ft_routing;

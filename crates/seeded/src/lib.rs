@@ -15,10 +15,14 @@
 //! * [`uid`]: unique edge identifiers with the XOR-validity test of
 //!   Lemma 3.10 (substitution S1 in DESIGN.md).
 
+#![forbid(unsafe_code)]
+
+pub mod det_hash;
 pub mod pairwise;
 pub mod prf;
 pub mod uid;
 
+pub use det_hash::{DetBuildHasher, DetHashMap, DetHashSet};
 pub use pairwise::PairwiseHash;
 pub use prf::{splitmix64, Seed};
 pub use uid::{EdgeUid, UidSpace};

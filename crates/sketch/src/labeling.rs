@@ -143,8 +143,11 @@ impl SketchScheme {
         let anc_of: Vec<AncestryLabel> =
             ftl_par::par_map_indexed(n, |i| AncestryLabel::of(tree, VertexId::new(i)));
         // Parallel-edge copy discriminators, in edge-id order (endpoint
-        // pairs packed into one u64 key to halve the hashing work).
-        let mut mult: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        // pairs packed into one u64 key to halve the hashing work). The
+        // fixed-key hasher keeps copy assignment identical across runs
+        // (FTL004): eid derivation feeds the wire format.
+        let mut mult: ftl_seeded::DetHashMap<u64, u32> =
+            ftl_seeded::DetHashMap::with_hasher(ftl_seeded::DetBuildHasher);
         let copy_of: Vec<u32> = graph
             .edge_ids()
             .map(|(_, e)| {

@@ -45,6 +45,8 @@
 //! assert!(out.path.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod decode;
 pub mod eid;
 pub mod labeling;

@@ -26,6 +26,8 @@
 //! assert!(tc.max_tree_radius() <= (2 * 3 - 1) * 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ftl_graph::shortest_path::dijkstra_within;
 use ftl_graph::{Graph, InducedSubgraph, SpanningTree, VertexId};
 

@@ -31,7 +31,8 @@ fn main() {
             collect_certificates: true,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     println!(
         "sidecar: {} vertex / {} edge records decoded at freeze time (zero-decode serving)",
         engine.store().sidecar().decoded_vertices(),

@@ -4,6 +4,8 @@
 //! the repo-level integration tests and examples) can depend on a single
 //! `ftl` crate.
 
+#![forbid(unsafe_code)]
+
 pub use ftl_core as core_schemes;
 pub use ftl_cycle_space as cycle_space;
 pub use ftl_engine as engine;
