@@ -66,7 +66,7 @@ fn ftl001_fires_on_hot_fn_and_transitive_callee_only() {
 }
 
 #[test]
-fn ftl002_fires_on_mutex_and_lock_calls_in_engine_only() {
+fn ftl002_fires_on_mutex_and_lock_calls_in_engine_and_server() {
     let findings = fixture_findings();
     let use_line = line_of("crates/engine/src/lib.rs", "use std::sync::Mutex");
     let lock_line = line_of("crates/engine/src/lib.rs", "m.lock()");
@@ -86,7 +86,41 @@ fn ftl002_fires_on_mutex_and_lock_calls_in_engine_only() {
         !findings
             .iter()
             .any(|f| f.rule == RuleId::LockFree && f.file.contains("labels")),
-        "FTL002 is engine-scoped"
+        "FTL002 never covers labels"
+    );
+}
+
+#[test]
+fn ftl002_server_scope_flags_locks_but_not_socket_read_write() {
+    let findings = fixture_findings();
+    let use_line = line_of("crates/server/src/net.rs", "use std::sync::Mutex");
+    let lock_line = line_of("crates/server/src/net.rs", "m.lock().expect");
+    let read_line = line_of("crates/server/src/net.rs", "socket-read-site");
+    let write_line = line_of("crates/server/src/net.rs", "socket-write-site");
+    let blessed = line_of("crates/server/src/net.rs", "m.lock().map");
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "server/src/net.rs",
+        use_line
+    ));
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "server/src/net.rs",
+        lock_line
+    ));
+    assert!(
+        !has(&findings, RuleId::LockFree, "server/src/net.rs", read_line),
+        "`.read()` in ftl-server is socket I/O, not a lock"
+    );
+    assert!(
+        !has(&findings, RuleId::LockFree, "server/src/net.rs", write_line),
+        "`.write()` in ftl-server is socket I/O, not a lock"
+    );
+    assert!(
+        !has(&findings, RuleId::LockFree, "server/src/net.rs", blessed),
+        "fn-level allow(lock-free) exempts the slot-style wrapper"
     );
 }
 
@@ -136,6 +170,21 @@ fn ftl003_fires_on_unwrap_panic_and_index_but_honors_allow_and_tests() {
         ),
         "cfg(test) regions are out of scope"
     );
+    // The server crate is in FTL003 scope too.
+    let server_expect = line_of("crates/server/src/net.rs", "m.lock().expect");
+    let server_index = line_of("crates/server/src/net.rs", "answers[i]");
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "server/src/net.rs",
+        server_expect
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "server/src/net.rs",
+        server_index
+    ));
 }
 
 #[test]
@@ -178,6 +227,14 @@ fn ftl004_fires_on_default_hasher_maps_and_honors_allow() {
             .any(|f| f.rule == RuleId::DetHash && f.file.contains("engine")),
         "FTL004 scope excludes engine files other than store.rs/cache.rs"
     );
+    // The server crate (per-tenant stats keyed by id) is in scope.
+    let server_map = line_of("crates/server/src/net.rs", "use std::collections::HashMap");
+    assert!(has(
+        &findings,
+        RuleId::DetHash,
+        "server/src/net.rs",
+        server_map
+    ));
 }
 
 #[test]

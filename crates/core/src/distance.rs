@@ -1,6 +1,6 @@
 //! `f`-FT approximate distance labels (Section 4, Theorem 1.4 / Lemma 4.3).
 //!
-//! The transformation of Chechik et al. [CLPR12]: for every distance scale
+//! The transformation of Chechik et al. \[CLPR12\]: for every distance scale
 //! `2^i` build a tree cover of `G \ H_i` (heavy edges removed, Eq. (4)),
 //! instantiate the FT *connectivity* labels on each cluster subgraph
 //! `G_{i,j} = (G \ H_i)[V(T_{i,j})]` with the cover tree as spanning tree,

@@ -35,6 +35,10 @@
 //! let faults = vec![labeling.edge_label(EdgeId::new(0))];
 //! assert!(labeling.decode(&s, &t, &faults));
 //! ```
+//!
+//! For the paper-to-code map of the whole workspace — which crate owns
+//! which theorem, and how the pieces compose — start at `README.md` at
+//! the repo root.
 
 #![forbid(unsafe_code)]
 

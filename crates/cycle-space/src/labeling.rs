@@ -47,7 +47,7 @@ impl CycleSpaceEdgeLabel {
 /// The labeling side of the cycle-space scheme: holds every vertex/edge
 /// label of one (connected) graph.
 ///
-/// Label access is by id; the decoder ([`crate::decode`]) needs only the
+/// Label access is by id; the decoder ([`crate::decode()`]) needs only the
 /// labels of the query triple `⟨s, t, F⟩`.
 #[derive(Debug, Clone)]
 pub struct CycleSpaceScheme {

@@ -1,5 +1,5 @@
 //! FT connectivity labels via **cycle space sampling** (Section 3.1,
-//! Theorem 3.6; technique of Pritchard–Thurimella [PT11]).
+//! Theorem 3.6; technique of Pritchard–Thurimella \[PT11\]).
 //!
 //! The scheme assigns each edge a `b = f + c·log n`-bit string `φ(e)` such
 //! that for any edge subset `F′`, `⊕_{e∈F′} φ(e) = 0` iff `F′` is an induced
@@ -39,6 +39,11 @@
 //! let f = [scheme.edge_label(EdgeId::new(1))];
 //! assert!(ftl_cycle_space::decode(&s, &t, &f));
 //! ```
+//!
+//! See `README.md` at the repo root for where this scheme sits in the
+//! full pipeline (labeling → freeze → engine → server), and
+//! `docs/static-analysis.md` for the determinism rules (FTL004) this
+//! crate is held to.
 
 #![forbid(unsafe_code)]
 

@@ -18,7 +18,7 @@
 //! [`EngineConfig::use_sidecar`] `= false` forces the wire path everywhere
 //! (the pre-sidecar behavior, kept as a benchmark baseline).
 //!
-//! The serving state lives in [`EngineCore`] — cache, scratch, and decoder
+//! The serving state lives in the private `EngineCore` — cache, scratch, and decoder
 //! arenas with no reference to a particular store — so one store shared
 //! behind an `Arc` can serve any number of engines;
 //! [`ParEngine`](crate::par::ParEngine) runs one core per worker thread.
@@ -168,6 +168,40 @@ pub struct BatchResponse {
     /// `results[i]` answers `queries[i]`.
     pub results: Vec<QueryResult>,
     /// Batch statistics.
+    pub stats: BatchStats,
+}
+
+/// One pre-grouped unit of serving work: a fault set and the queries that
+/// share it. This is the shape a batching front end (`ftl-server`) hands
+/// the engine after grouping traffic by canonical fault-set hash — no
+/// per-query fault-set indices to validate, one elimination per group by
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSetBatch {
+    /// The (not necessarily canonicalised) fault set shared by every query
+    /// of this group.
+    pub faults: Vec<EdgeId>,
+    /// `(s, t)` connectivity queries against `G \ faults`.
+    pub queries: Vec<(VertexId, VertexId)>,
+}
+
+/// The outcome of one group of a grouped execute: per-query results in
+/// group order, or the error that failed the group.
+pub type GroupResult = Result<Vec<QueryResult>, EngineError>;
+
+/// Response to a grouped execute: one [`GroupResult`] per submitted
+/// [`FaultSetBatch`], in submission order.
+///
+/// Unlike [`Engine::execute`], grouped execution isolates failures per
+/// group: a group whose fault set names a missing edge (or whose worker
+/// panicked) fails alone, and every other group still gets its answers —
+/// the property a multi-tenant front end needs, since one group can mix
+/// queries from many independent connections.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedResponse {
+    /// `groups[i]` answers `FaultSetBatch` `i`.
+    pub groups: Vec<GroupResult>,
+    /// Aggregate statistics across all groups.
     pub stats: BatchStats,
 }
 
@@ -388,6 +422,47 @@ impl EngineCore {
         }
     }
 
+    /// Serves one pre-grouped fault-set batch: resolve the set once,
+    /// answer its queries. The group either fully succeeds or fails as a
+    /// unit; see [`GroupedResponse`] for the isolation contract.
+    pub(crate) fn execute_group(
+        &mut self,
+        store: &LabelStore,
+        group: &FaultSetBatch,
+        stats: &mut BatchStats,
+    ) -> GroupResult {
+        let efs = self.resolve_fault_set(store, &group.faults, stats)?;
+        let mut results = Vec::with_capacity(group.queries.len());
+        for &(s, t) in &group.queries {
+            let q = ConnQuery { s, t, fault_set: 0 };
+            results.push(self.answer(store, &efs, &q)?);
+        }
+        stats.queries += group.queries.len();
+        Ok(results)
+    }
+
+    /// Serves a slice of pre-grouped batches, isolating failures per
+    /// group. Never fails wholesale: the per-group `Result`s carry the
+    /// errors.
+    pub(crate) fn execute_grouped(
+        &mut self,
+        store: &LabelStore,
+        groups: &[FaultSetBatch],
+    ) -> GroupedResponse {
+        let mut stats = BatchStats {
+            fault_sets: groups.len(),
+            ..BatchStats::default()
+        };
+        let results = groups
+            .iter()
+            .map(|g| self.execute_group(store, g, &mut stats))
+            .collect();
+        GroupedResponse {
+            groups: results,
+            stats,
+        }
+    }
+
     /// [`EngineCore::execute`] restricted to `queries[range]` — the
     /// per-worker slice of a [`crate::par::ParEngine`] batch. Fault sets
     /// are resolved lazily, so a worker eliminates (and caches) only the
@@ -535,8 +610,8 @@ impl EngineCore {
     }
 }
 
-/// The sharded, batch-decoding label-query engine: one [`EngineCore`] over
-/// one (shareable) frozen store.
+/// The sharded, batch-decoding label-query engine: one per-thread serving
+/// core (cache + scratch) over one (shareable) frozen store.
 ///
 /// Built with [`Engine::over_epochs`], the engine re-pins its store from
 /// the [`EpochStore`](crate::EpochStore) at every batch boundary: a batch
@@ -684,9 +759,22 @@ impl Engine {
         Ok(())
     }
 
+    /// Serves pre-grouped fault-set batches — the batching front end's
+    /// entry point ([`FaultSetBatch`] is what `ftl-server` builds after
+    /// grouping cross-connection traffic by canonical fault-set hash).
+    /// Each group pays one elimination (or cache hit); failures are
+    /// isolated per group, so the call itself never fails — see
+    /// [`GroupedResponse`].
+    pub fn execute_grouped(&mut self, groups: &[FaultSetBatch]) -> GroupedResponse {
+        self.refresh_epoch();
+        let mut resp = self.core.execute_grouped(&self.store, groups);
+        resp.stats.epoch = self.epoch;
+        resp
+    }
+
     /// The naive serving path — a fresh elimination per query — kept as
     /// the benchmark baseline and differential oracle. See
-    /// [`EngineCore::execute_naive`] for the arena-reuse story.
+    /// `EngineCore::execute_naive` for the arena-reuse story.
     ///
     /// # Errors
     ///

@@ -23,6 +23,10 @@
 //! The naive pre-engine serving path — a fresh elimination per query — is
 //! preserved as [`Engine::execute_naive`] for differential testing and
 //! benchmarking.
+//!
+//! The failure-mode catalogue (epoch swaps mid-batch, worker panics,
+//! corrupted labels) is `docs/robustness.md`; the network front end that
+//! feeds this engine batched queries is documented in `docs/serving.md`.
 
 #![forbid(unsafe_code)]
 
@@ -39,7 +43,7 @@ pub use batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
 pub use cache::LruCache;
 pub use engine::{
     store_from_cycle_space, BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig,
-    EngineError, QueryResult,
+    EngineError, FaultSetBatch, GroupResult, GroupedResponse, QueryResult,
 };
 pub use epoch::{full_store_of, Epoch, EpochStore, LiveStore, SwapPath, SwapReport};
 pub use inject::{

@@ -1,7 +1,7 @@
 //! `ParEngine`: N worker threads over one shared `Arc<LabelStore>`.
 //!
 //! The frozen store reads are pure `&self`, so the only per-thread state a
-//! worker needs is its own [`EngineCore`] — elimination cache, decode
+//! worker needs is its own private serving core — elimination cache, decode
 //! scratch, diff vector. A `ParEngine` owns one core per worker (**no
 //! shared mutable state, no locks**): each batch is split into contiguous
 //! query chunks, every worker serves its chunk against the shared store
@@ -31,7 +31,7 @@
 //! survives.
 
 use crate::engine::{BatchRequest, BatchResponse, BatchStats, EngineConfig, EngineError};
-use crate::engine::{Engine, EngineCore, QueryResult};
+use crate::engine::{Engine, EngineCore, FaultSetBatch, GroupResult, GroupedResponse, QueryResult};
 use crate::store::{LabelStore, StoreError};
 use ftl_cycle_space::CycleSpaceScheme;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -256,18 +256,90 @@ impl ParEngine {
             stats: agg,
         })
     }
+
+    /// Serves pre-grouped fault-set batches across the workers — the
+    /// batching front end's entry point. Groups are split into contiguous
+    /// **group-granular** chunks (a group never straddles workers, so each
+    /// fault set is eliminated exactly once, on exactly one worker — no
+    /// cross-worker duplicate eliminations as with per-query chunking).
+    ///
+    /// Failures are isolated per group: a bad fault set fails only its own
+    /// group, and a worker panic fails only the groups of that worker's
+    /// chunk (the panicked core is rebuilt; the other chunks' answers are
+    /// kept). The call itself never fails — see [`GroupedResponse`].
+    pub fn execute_grouped(&mut self, groups: &[FaultSetBatch]) -> GroupedResponse {
+        self.refresh_epoch();
+        let total = groups.len();
+        let workers = self.cores.len();
+        let chunk = total.div_ceil(workers.max(1)).max(1);
+        let jobs: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (chunk * w).min(total)..(chunk * (w + 1)).min(total))
+            .collect();
+        let store = &self.store;
+        let run_one = |core: &mut EngineCore,
+                       range: std::ops::Range<usize>|
+         -> Result<(Vec<GroupResult>, BatchStats, u64), EngineError> {
+            let start = Instant::now();
+            let mut stats = BatchStats::default();
+            let slice = groups.get(range).unwrap_or(&[]);
+            let results: Vec<GroupResult> = slice
+                .iter()
+                .map(|g| core.execute_group(store, g, &mut stats))
+                .collect();
+            Ok((results, stats, start.elapsed().as_nanos() as u64))
+        };
+        let outputs = run_workers(&mut self.cores, &jobs, &run_one);
+        let mut merged: Vec<GroupResult> = Vec::with_capacity(total);
+        let mut agg = BatchStats {
+            fault_sets: total,
+            epoch: self.epoch,
+            ..BatchStats::default()
+        };
+        for ((w, out), job) in outputs.into_iter().enumerate().zip(&jobs) {
+            match out {
+                Ok((results, stats, busy_ns)) => {
+                    if let Some(ws) = self.stats.get_mut(w) {
+                        ws.queries += stats.queries as u64;
+                        ws.busy_ns += busy_ns;
+                        ws.eliminations += stats.eliminations as u64;
+                        ws.cache_hits += stats.cache_hits as u64;
+                    }
+                    agg.queries += stats.queries;
+                    agg.eliminations += stats.eliminations;
+                    agg.cache_hits += stats.cache_hits;
+                    merged.extend(results);
+                }
+                Err(err) => {
+                    if matches!(err, EngineError::WorkerPanicked { .. }) {
+                        if let Some(core) = self.cores.get_mut(w) {
+                            *core = EngineCore::new(self.config);
+                        }
+                    }
+                    // Every group of the failed chunk reports the worker's
+                    // error; the other chunks' groups are unaffected.
+                    merged.extend(job.clone().map(|_| Err(err.clone())));
+                }
+            }
+        }
+        GroupedResponse {
+            groups: merged,
+            stats: agg,
+        }
+    }
 }
 
 /// Runs one job per core — scoped threads under the `parallel` feature,
 /// a sequential loop otherwise (or for a single worker). Outputs come back
-/// in worker order either way.
-fn run_workers<F>(
+/// in worker order either way; a panicked worker's output is
+/// [`EngineError::WorkerPanicked`].
+fn run_workers<T, F>(
     cores: &mut [EngineCore],
     jobs: &[std::ops::Range<usize>],
     run_one: &F,
-) -> Vec<ChunkOutput>
+) -> Vec<Result<T, EngineError>>
 where
-    F: Fn(&mut EngineCore, std::ops::Range<usize>) -> ChunkOutput + Sync,
+    T: Send,
+    F: Fn(&mut EngineCore, std::ops::Range<usize>) -> Result<T, EngineError> + Sync,
 {
     #[cfg(feature = "parallel")]
     {

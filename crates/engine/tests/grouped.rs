@@ -1,0 +1,142 @@
+//! The grouped batch-submission entry point: `execute_grouped` agrees
+//! with `execute`, eliminates once per group, and isolates failures —
+//! per group on the serial engine, per worker chunk on `ParEngine`.
+
+// Test code: panicking asserts are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ftl_cycle_space::CycleSpaceScheme;
+use ftl_engine::{
+    BatchRequest, ConnQuery, Engine, EngineConfig, EngineError, FaultSetBatch, ParEngine,
+};
+use ftl_graph::{generators, EdgeId, VertexId};
+use ftl_seeded::Seed;
+
+fn scheme() -> (ftl_graph::Graph, CycleSpaceScheme) {
+    let g = generators::grid(6, 6);
+    let scheme = CycleSpaceScheme::label(&g, 8, Seed::new(77)).expect("grid is connected");
+    (g, scheme)
+}
+
+/// Groups covering three distinct fault sets, eight queries each.
+fn groups(g: &ftl_graph::Graph) -> Vec<FaultSetBatch> {
+    let n = g.num_vertices();
+    let sets = [
+        vec![EdgeId::new(0), EdgeId::new(5)],
+        vec![EdgeId::new(11), EdgeId::new(3), EdgeId::new(19)],
+        vec![EdgeId::new(30)],
+    ];
+    sets.iter()
+        .enumerate()
+        .map(|(i, faults)| FaultSetBatch {
+            faults: faults.clone(),
+            queries: (0..8)
+                .map(|q| {
+                    (
+                        VertexId::new((i * 7 + q * 3) % n),
+                        VertexId::new((i * 11 + q * 5 + 1) % n),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn grouped_agrees_with_indexed_execute() {
+    let (g, scheme) = scheme();
+    let mut engine = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
+    let groups = groups(&g);
+
+    // The same workload phrased as an indexed BatchRequest.
+    let req = BatchRequest {
+        fault_sets: groups.iter().map(|gr| gr.faults.clone()).collect(),
+        queries: groups
+            .iter()
+            .enumerate()
+            .flat_map(|(i, gr)| {
+                gr.queries
+                    .iter()
+                    .map(move |&(s, t)| ConnQuery { s, t, fault_set: i })
+            })
+            .collect(),
+    };
+    let indexed = engine.execute(&req).unwrap();
+    let grouped = engine.execute_grouped(&groups);
+
+    let flat: Vec<_> = grouped
+        .groups
+        .iter()
+        .flat_map(|gr| gr.as_ref().unwrap().iter().cloned())
+        .collect();
+    assert_eq!(flat, indexed.results);
+    assert_eq!(grouped.stats.queries, indexed.stats.queries);
+    assert_eq!(grouped.stats.fault_sets, 3);
+}
+
+#[test]
+fn par_grouped_matches_serial_and_eliminates_once_per_group() {
+    let (g, scheme) = scheme();
+    let config = EngineConfig::default();
+    let par_store = Engine::from_cycle_space(&scheme, config)
+        .unwrap()
+        .shared_store();
+    for workers in [1, 2, 3, 5] {
+        let mut par = ParEngine::new(par_store.clone(), config, workers);
+        let mut serial = par.serial_engine();
+        let groups = groups(&g);
+        let pr = par.execute_grouped(&groups);
+        let sr = serial.execute_grouped(&groups);
+        for (p, s) in pr.groups.iter().zip(&sr.groups) {
+            assert_eq!(p.as_ref().unwrap(), s.as_ref().unwrap());
+        }
+        // Group-granular chunking: each distinct fault set is eliminated
+        // exactly once, on exactly one worker — never duplicated.
+        assert_eq!(pr.stats.eliminations, 3, "workers = {workers}");
+    }
+}
+
+#[test]
+fn grouped_isolates_bad_fault_set_to_its_own_group() {
+    let (g, scheme) = scheme();
+    let mut engine = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
+    let mut groups = groups(&g);
+    groups[1].faults = vec![EdgeId::new(999_999)]; // no such edge
+    let resp = engine.execute_grouped(&groups);
+    assert!(resp.groups[0].is_ok());
+    assert!(matches!(resp.groups[1], Err(EngineError::Store(_))));
+    assert!(resp.groups[2].is_ok());
+}
+
+#[test]
+fn par_grouped_contains_worker_panic_to_its_chunk() {
+    let (g, scheme) = scheme();
+    let chaos = EdgeId::new(0);
+    let config = EngineConfig {
+        chaos_panic_edge: Some(chaos),
+        ..EngineConfig::default()
+    };
+    let mut par = ParEngine::from_cycle_space(&scheme, config, 3).unwrap();
+    let groups = groups(&g); // group 0 contains edge 0 → panics its worker
+    let resp = par.execute_grouped(&groups);
+    assert!(matches!(
+        resp.groups[0],
+        Err(EngineError::WorkerPanicked { .. })
+    ));
+    // With 3 workers and 3 groups each worker gets one group: the other
+    // two chunks complete and keep their answers.
+    assert!(resp.groups[1].is_ok());
+    assert!(resp.groups[2].is_ok());
+    // The engine survives and the panicked worker's core was rebuilt: a
+    // chaos-free replay fully succeeds.
+    let calm: Vec<FaultSetBatch> = groups
+        .iter()
+        .skip(1)
+        .map(|gr| FaultSetBatch {
+            faults: gr.faults.clone(),
+            queries: gr.queries.clone(),
+        })
+        .collect();
+    let resp = par.execute_grouped(&calm);
+    assert!(resp.groups.iter().all(|r| r.is_ok()));
+}

@@ -103,7 +103,7 @@ impl NaiveBasis {
 }
 
 /// Scan-based solver over [`NaiveBasis`]; the "before" baseline for
-/// [`crate::solve`].
+/// [`crate::solve()`].
 pub fn solve_naive(columns: &[BitVec], target: &BitVec) -> Option<BitVec> {
     let mut basis = NaiveBasis::new(target.len(), columns.len().max(1));
     for c in columns {

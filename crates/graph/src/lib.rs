@@ -26,6 +26,9 @@
 //! assert_eq!(g.num_vertices(), 4);
 //! assert!(ftl_graph::traversal::is_connected(&g));
 //! ```
+//!
+//! See `README.md` at the repo root for how the substrate feeds the
+//! labeling schemes and the workload generators used by the benches.
 
 #![forbid(unsafe_code)]
 

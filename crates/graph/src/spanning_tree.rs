@@ -25,7 +25,7 @@ pub struct SpanningTree {
     parent: Vec<Option<(VertexId, EdgeId)>>,
     children: Vec<Vec<VertexId>>,
     /// DFS entry time, `u32::MAX` when not in the tree. Times are unique and
-    /// start at 1, matching [KNR92] where the interval of the root is (1, M).
+    /// start at 1, matching \[KNR92\] where the interval of the root is (1, M).
     pre: Vec<u32>,
     /// DFS exit time.
     post: Vec<u32>,

@@ -1,4 +1,4 @@
-//! Ancestry labels for rooted trees (Lemma 3.1, [KNR92]).
+//! Ancestry labels for rooted trees (Lemma 3.1, \[KNR92\]).
 
 use ftl_graph::{SpanningTree, VertexId};
 

@@ -5,12 +5,16 @@
 //!
 //! * **Ancestry labels** — each vertex `v` carries its DFS entry/exit times
 //!   `(DFS₁(v), DFS₂(v))`; `u` is an ancestor of `v` iff `u`'s interval
-//!   contains `v`'s ([KNR92]). `O(log n)` bits, `O(1)` query.
+//!   contains `v`'s (\[KNR92\]). `O(log n)` bits, `O(1)` query.
 //! * **The component tree** — removing the faulty tree edges `F_T` splits
 //!   the spanning tree into `|F_T| + 1` components; Claim 3.14 rebuilds the
 //!   tree of those components *from the ancestry labels of the fault
 //!   endpoints alone* in `O(f log f)` time, and locates any vertex's
 //!   component from its ancestry label in `O(log f)` time.
+//!
+//! The byte-level wire format these labels (and the server's envelope
+//! frames) share is specified in `docs/serving.md`; the crate map is in
+//! `README.md`.
 
 #![forbid(unsafe_code)]
 

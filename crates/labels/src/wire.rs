@@ -46,6 +46,13 @@ pub enum LabelKind {
     SketchEdge = 0x21,
     /// A fault-tolerant routing label.
     Route = 0x30,
+    /// A serving-envelope request frame (`ftl-server`; see
+    /// `docs/serving.md`). Not a label: the serving front end frames its
+    /// request/response bodies as wire records so they inherit this
+    /// module's header versioning and corruption rejection.
+    QueryRequest = 0x40,
+    /// A serving-envelope response frame (`ftl-server`).
+    QueryResponse = 0x41,
 }
 
 impl LabelKind {
@@ -58,6 +65,8 @@ impl LabelKind {
             0x20 => Some(LabelKind::SketchVertex),
             0x21 => Some(LabelKind::SketchEdge),
             0x30 => Some(LabelKind::Route),
+            0x40 => Some(LabelKind::QueryRequest),
+            0x41 => Some(LabelKind::QueryResponse),
             _ => None,
         }
     }
@@ -485,6 +494,17 @@ mod tests {
                 got: LabelKind::Route,
             })
         );
+    }
+
+    #[test]
+    fn envelope_kinds_roundtrip_through_from_u8() {
+        for kind in [LabelKind::QueryRequest, LabelKind::QueryResponse] {
+            assert_eq!(LabelKind::from_u8(kind as u8), Some(kind));
+        }
+        // The gap between the label kinds and the envelope kinds stays
+        // unassigned.
+        assert_eq!(LabelKind::from_u8(0x31), None);
+        assert_eq!(LabelKind::from_u8(0x42), None);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!
 //! Results are bit-identical either way: every closure is pure in its index
 //! and chunk results are spliced back in order.
+//!
+//! `README.md` at the repo root shows where the fork-join sweeps sit in
+//! the build pipeline; threaded failure modes are in `docs/robustness.md`.
 
 #![forbid(unsafe_code)]
 

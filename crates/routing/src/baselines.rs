@@ -5,7 +5,7 @@
 //!   paths around the faults it has learned about. Space is Θ(m log n) bits
 //!   per vertex; the stretch is what adaptive full knowledge buys you.
 //! * [`Table1Row`] / [`analytic_rows`] — the prior-work rows of Table 1
-//!   ([Raj12], [CLPR12], [Che11]) evaluated analytically at the experiment's
+//!   (\[Raj12\], \[CLPR12\], \[Che11\]) evaluated analytically at the experiment's
 //!   parameters (substitution S3 in DESIGN.md: those systems have no public
 //!   implementations; the table compares formulas, so we evaluate the
 //!   formulas).

@@ -2,7 +2,7 @@
 //! (Section 5; Theorems 5.3, 5.5, 5.8 and the lower bound Theorem 1.6).
 //!
 //! * [`tree_routing`] — interval routing on trees with heavy-light
-//!   decomposition ([TZ01], Fact 5.1), extended with the Γ-block port
+//!   decomposition (\[TZ01\], Fact 5.1), extended with the Γ-block port
 //!   information of Claim 5.6 that load-balances edge-label storage.
 //! * [`forbidden_set`] — routing when the faulty edges are known to the
 //!   source (Theorem 5.3): stretch `(8k−2)(|F|+1)`.
@@ -32,6 +32,9 @@
 //!   `f + 1` sketch copies each) one tree per core via [`ftl_par`]; disable
 //!   (`--no-default-features`) for a strictly single-threaded build.
 //!   Results are identical either way.
+//!
+//! See `README.md` at the repo root for the crate map and for which
+//! experiments (`EXPERIMENTS.md`) exercise the routing schemes.
 
 #![forbid(unsafe_code)]
 

@@ -1,5 +1,5 @@
 //! Interval routing on trees with heavy-light decomposition (Fact 5.1,
-//! [TZ01]) and the Γ-block extension (Claim 5.6).
+//! \[TZ01\]) and the Γ-block extension (Claim 5.6).
 //!
 //! Every vertex `v` gets a **table**: its DFS interval, the port to its
 //! parent, and the interval + port of its (unique) heavy child. Every vertex

@@ -14,6 +14,10 @@
 //!   Mersenne prime `2^61 - 1`;
 //! * [`uid`]: unique edge identifiers with the XOR-validity test of
 //!   Lemma 3.10 (substitution S1 in DESIGN.md).
+//!
+//! Why determinism is load-bearing here — and the analyzer rule (FTL004)
+//! that enforces it — is covered in `docs/static-analysis.md`; the crate
+//! map is in `README.md`.
 
 #![forbid(unsafe_code)]
 

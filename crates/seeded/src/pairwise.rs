@@ -4,7 +4,7 @@
 //! with probability `2^{-j}` using a pairwise-independent hash `h_i`:
 //! `E_{i,j} = { e : h_i(e) ∈ [0, 2^{log m - j}) }` (Section 3.2.1). Pairwise
 //! independence suffices for the recovery guarantee (Lemma 3.9, citing
-//! [GKKT15] Lemma 5.2).
+//! \[GKKT15\] Lemma 5.2).
 
 use crate::prf::Seed;
 

@@ -1,0 +1,234 @@
+//! The accumulation window: where cross-connection batching happens.
+//!
+//! Reader threads [`submit`](Batcher::submit) decoded requests; executor
+//! threads [`next_window`](Batcher::next_window) them back out. An
+//! executor that finds work waits one configured window first, so
+//! requests from *other* connections can pile in — that pile is what
+//! turns 64 connections asking about 8 fault sets into 8 eliminations
+//! instead of 64.
+//!
+//! Admission control lives here too: `submit` rejects (with the typed
+//! [`SubmitError::Busy`]) once the queued-query total would exceed the
+//! budget, so a flood degrades into fast, explicit `ServerBusy` responses
+//! instead of unbounded memory growth and unbounded latency.
+//!
+//! This is the one condvar in the crate (the wrapper in `locked.rs`
+//! covers plain mutation; a window needs *waiting*). Both sides recover
+//! from poisoning the same way `locked::Slot` does.
+
+use ftl_graph::{EdgeId, VertexId};
+use std::time::{Duration, Instant};
+
+// ftl-analyzer: allow(lock-free) the batcher's window condvar; front-end queueing, not the read path
+#[allow(clippy::disallowed_types)]
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One decoded request waiting for a window.
+#[derive(Debug)]
+pub struct Pending {
+    /// Registry id of the submitting connection.
+    pub conn: u64,
+    /// The client's request id, echoed in the response.
+    pub request_id: u64,
+    /// Accounting principal.
+    pub tenant: u32,
+    /// The request's fault set.
+    pub faults: Vec<EdgeId>,
+    /// The request's queries.
+    pub queries: Vec<(VertexId, VertexId)>,
+    /// When `submit` accepted it (service latency starts here).
+    pub enqueued: Instant,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending-query budget is full.
+    Busy {
+        /// Queries already pending.
+        pending: u32,
+        /// The configured budget.
+        budget: u32,
+    },
+    /// The batcher is closed (server draining).
+    ShuttingDown,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    pending: Vec<Pending>,
+    pending_queries: usize,
+    open: bool,
+}
+
+/// The shared accumulation window.
+#[derive(Debug)]
+pub struct Batcher {
+    // ftl-analyzer: allow(lock-free) window state + condvar; see module docs
+    #[allow(clippy::disallowed_types)]
+    state: Mutex<State>,
+    cv: Condvar,
+    budget: usize,
+    window: Duration,
+}
+
+impl Batcher {
+    /// A new, open batcher with the given pending-query budget and
+    /// accumulation window.
+    // ftl-analyzer: allow(lock-free) constructing the window state
+    #[allow(clippy::disallowed_types)]
+    pub fn new(budget: usize, window: Duration) -> Self {
+        Batcher {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                pending_queries: 0,
+                open: true,
+            }),
+            cv: Condvar::new(),
+            budget,
+            window,
+        }
+    }
+
+    // ftl-analyzer: allow(lock-free) the batcher's own lock acquisition
+    fn locked(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Queues a request, or rejects it if the budget is full or the
+    /// batcher is draining.
+    pub fn submit(&self, p: Pending) -> Result<(), SubmitError> {
+        let mut g = self.locked();
+        if !g.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if g.pending_queries + p.queries.len() > self.budget {
+            return Err(SubmitError::Busy {
+                pending: g.pending_queries as u32,
+                budget: self.budget as u32,
+            });
+        }
+        g.pending_queries += p.queries.len();
+        g.pending.push(p);
+        drop(g);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Queries currently queued (for observability and tests).
+    pub fn pending_queries(&self) -> usize {
+        self.locked().pending_queries
+    }
+
+    /// Blocks until work exists, lets the accumulation window elapse, and
+    /// takes everything queued. Returns `None` only when the batcher is
+    /// closed *and* fully drained — the executor's signal to exit.
+    // ftl-analyzer: allow(lock-free) condvar waits for the accumulation window
+    pub fn next_window(&self) -> Option<Vec<Pending>> {
+        let mut g = self.locked();
+        loop {
+            if !g.pending.is_empty() {
+                break;
+            }
+            if !g.open {
+                return None;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        // Work exists. Hold the window open so concurrent connections can
+        // add to it — unless we're draining, in which case flush fast.
+        if g.open && !self.window.is_zero() {
+            let deadline = Instant::now() + self.window;
+            loop {
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now) else {
+                    break;
+                };
+                if left.is_zero() || !g.open {
+                    break;
+                }
+                g = match self.cv.wait_timeout(g, left) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        }
+        g.pending_queries = 0;
+        Some(std::mem::take(&mut g.pending))
+    }
+
+    /// Closes the batcher: future submits fail with
+    /// [`SubmitError::ShuttingDown`]; executors drain what is queued and
+    /// then see `None`.
+    pub fn close(&self) {
+        self.locked().open = false;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pending(queries: usize) -> Pending {
+        Pending {
+            conn: 1,
+            request_id: 1,
+            tenant: 0,
+            faults: Vec::new(),
+            queries: vec![(VertexId::new(0), VertexId::new(1)); queries],
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn budget_rejects_with_typed_busy() {
+        let b = Batcher::new(10, Duration::ZERO);
+        b.submit(pending(6)).unwrap();
+        b.submit(pending(4)).unwrap();
+        assert_eq!(
+            b.submit(pending(1)),
+            Err(SubmitError::Busy {
+                pending: 10,
+                budget: 10,
+            })
+        );
+        // Taking the window frees the budget.
+        let w = b.next_window().unwrap();
+        assert_eq!(w.len(), 2);
+        b.submit(pending(10)).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let b = Batcher::new(100, Duration::ZERO);
+        b.submit(pending(3)).unwrap();
+        b.close();
+        assert_eq!(b.submit(pending(1)), Err(SubmitError::ShuttingDown));
+        assert_eq!(b.next_window().map(|w| w.len()), Some(1));
+        assert!(b.next_window().is_none());
+    }
+
+    #[test]
+    fn window_accumulates_across_threads() {
+        let b = Arc::new(Batcher::new(1000, Duration::from_millis(40)));
+        let b2 = Arc::clone(&b);
+        b.submit(pending(1)).unwrap();
+        let late = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            b2.submit(pending(1)).unwrap();
+        });
+        // The window opened on the first submit but must still include the
+        // one that lands 10ms later.
+        let w = b.next_window().unwrap();
+        late.join().unwrap();
+        assert_eq!(w.len(), 2);
+    }
+}

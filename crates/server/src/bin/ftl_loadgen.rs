@@ -1,0 +1,147 @@
+//! `ftl-loadgen` — drive a running `ftl-serve` and audit every answer.
+//!
+//! The loadgen rebuilds the server's topology from the same `--graph` /
+//! `--seed` pair, derives the shared fault-set vocabulary, precomputes
+//! BFS ground truth, and then hammers the server with `--clients`
+//! concurrent connections. Any answer disagreeing with BFS is a
+//! mismatch; the process exits non-zero if there is even one.
+//!
+//! ```text
+//! ftl-loadgen --addr 127.0.0.1:7411 --graph er:1024:8 --seed 1 \
+//!             --clients 64 --requests 32 --queries 16 --fault-sets 8
+//! ```
+
+use ftl_server::{derive_fault_sets, parse_graph_spec, run_loadgen, LoadgenConfig};
+use std::net::ToSocketAddrs;
+
+struct Args {
+    addr: String,
+    graph: String,
+    seed: u64,
+    fault_sets: usize,
+    faults_per_set: usize,
+    clients: usize,
+    requests: usize,
+    queries: usize,
+    loadgen_seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7411".to_string(),
+            graph: "grid:32x32".to_string(),
+            seed: 1,
+            fault_sets: 8,
+            faults_per_set: 4,
+            clients: 64,
+            requests: 32,
+            queries: 16,
+            loadgen_seed: 1,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--graph" => args.graph = value("--graph")?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--fault-sets" => args.fault_sets = parse(&value("--fault-sets")?)?,
+            "--faults-per-set" => args.faults_per_set = parse(&value("--faults-per-set")?)?,
+            "--clients" => args.clients = parse(&value("--clients")?)?,
+            "--requests" => args.requests = parse(&value("--requests")?)?,
+            "--queries" => args.queries = parse(&value("--queries")?)?,
+            "--loadgen-seed" => args.loadgen_seed = parse(&value("--loadgen-seed")?)?,
+            "--help" | "-h" => {
+                println!(
+                    "ftl-loadgen [--addr A] [--graph SPEC] [--seed N] [--fault-sets N]\n\
+                     \x20           [--faults-per-set N] [--clients N] [--requests N]\n\
+                     \x20           [--queries N] [--loadgen-seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad value `{raw}`"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let addr = args
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad addr {}: {e}", args.addr))?
+        .next()
+        .ok_or(format!("addr {} resolves to nothing", args.addr))?;
+    let g = parse_graph_spec(&args.graph, args.seed)?;
+    let sets = derive_fault_sets(&g, args.fault_sets, args.faults_per_set, args.seed);
+    println!(
+        "{}: {} vertices, {} edges; {} fault sets x {} faults; \
+         {} clients x {} requests x {} queries",
+        args.graph,
+        g.num_vertices(),
+        g.num_edges(),
+        sets.len(),
+        args.faults_per_set,
+        args.clients,
+        args.requests,
+        args.queries
+    );
+    let report = run_loadgen(
+        addr,
+        &g,
+        &sets,
+        LoadgenConfig {
+            clients: args.clients,
+            requests_per_client: args.requests,
+            queries_per_request: args.queries,
+            seed: args.loadgen_seed,
+            ..LoadgenConfig::default()
+        },
+    );
+    println!(
+        "{} requests ok / {} queries ok in {:.1} ms — {:.0} queries/s, \
+         p50 {:.3} ms, p99 {:.3} ms",
+        report.requests_ok,
+        report.queries_ok,
+        report.wall_ns as f64 / 1e6,
+        report.queries_per_sec,
+        report.p50_ms,
+        report.p99_ms
+    );
+    println!(
+        "{} mismatches, {} busy rejects ({} unserved), {} engine failures, \
+         {} shutdown notices, {} io errors",
+        report.mismatches,
+        report.busy_rejects,
+        report.unserved,
+        report.engine_failures,
+        report.shutdown_notices,
+        report.io_errors
+    );
+    Ok(report.mismatches == 0)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("ftl-loadgen: MISMATCHES against BFS ground truth");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("ftl-loadgen: {e}");
+            std::process::exit(2);
+        }
+    }
+}

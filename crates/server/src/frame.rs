@@ -1,0 +1,426 @@
+//! The serving envelope: length-prefixed wire records on a TCP stream.
+//!
+//! Byte layout of one message (full spec in `docs/serving.md`):
+//!
+//! ```text
+//! byte 0..4   frame length N in bytes, u32 little-endian
+//! byte 4..4+N one ftl wire record (see ftl_labels::wire):
+//!             magic 0xF7 0x4C · version · kind 0x40/0x41 · bit length ·
+//!             bit-packed payload
+//! ```
+//!
+//! Reusing the wire record as the frame body means the envelope inherits
+//! the label format's guarantees for free: versioning (a future protocol
+//! bump is a `WIRE_VERSION` bump), magic/kind checks, exact bit-length
+//! accounting, and zero-padding enforcement. A corrupted frame decodes to
+//! a typed [`WireError`] — never a panic, never a silent misparse.
+//!
+//! Reads are *interruptible*: [`read_frame`] tolerates read timeouts
+//! (polling the caller's stop flag between attempts) and keeps partial
+//! fills, so a socket configured with a short read timeout can observe
+//! server shutdown without ever desynchronizing mid-frame.
+
+use ftl_graph::{EdgeId, VertexId};
+use ftl_labels::wire::{LabelKind, WireError, WireLabel, WireReader, WireWriter};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Default ceiling on a single frame's byte length. A request of
+/// [`MAX_FAULTS_PER_REQUEST`] faults and [`MAX_QUERIES_PER_REQUEST`]
+/// queries fits comfortably; anything larger is a protocol violation (or
+/// an attack) and closes the connection before any allocation happens.
+pub const MAX_FRAME_BYTES_DEFAULT: usize = 1 << 20;
+
+/// Most faults one request may name.
+pub const MAX_FAULTS_PER_REQUEST: usize = 4096;
+
+/// Most queries one request may carry.
+pub const MAX_QUERIES_PER_REQUEST: usize = u16::MAX as usize;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly (EOF at a frame boundary).
+    Closed,
+    /// The caller's stop flag was raised while waiting for bytes.
+    Stopped,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The declared frame length exceeds the configured ceiling.
+    Oversized {
+        /// Declared length.
+        len: u32,
+        /// Configured ceiling.
+        max: u32,
+    },
+    /// A socket error other than a timeout.
+    Io(ErrorKind),
+    /// The frame body is not a valid wire record of the expected kind.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the stream"),
+            FrameError::Stopped => write!(f, "stopped while waiting for a frame"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "declared frame length {len} exceeds the ceiling {max}")
+            }
+            FrameError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            FrameError::Wire(e) => write!(f, "bad frame body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, record: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(record.len() as u32).to_le_bytes())?;
+    w.write_all(record)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame body (the wire record bytes).
+///
+/// Timeouts (`WouldBlock` / `TimedOut`) are retried after checking
+/// `stop`; partial fills are kept across retries, so a frame split over
+/// many reads still assembles correctly. EOF exactly at a frame boundary
+/// is a clean [`FrameError::Closed`]; EOF anywhere inside a frame is
+/// [`FrameError::Truncated`].
+pub fn read_frame(
+    r: &mut impl Read,
+    max_bytes: usize,
+    stop: &AtomicBool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_full(r, &mut len_buf, stop, true)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > max_bytes {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_bytes as u32,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    read_full(r, &mut body, stop, false)?;
+    Ok(body)
+}
+
+/// Fills `buf` completely, retrying through timeouts. `at_boundary` marks
+/// whether EOF before the first byte is a clean close.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    at_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(FrameError::Stopped);
+        }
+        let Some(rest) = buf.get_mut(filled..) else {
+            return Err(FrameError::Io(ErrorKind::InvalidInput));
+        };
+        match r.read(rest) {
+            Ok(0) if filled == 0 && at_boundary => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(FrameError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// One connectivity request: a fault set and a list of `(s, t)` queries,
+/// answered together under `G \ F`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryRequestFrame {
+    /// Client-chosen id echoed verbatim in the response; the demux key
+    /// when responses come back out of submission order.
+    pub request_id: u64,
+    /// Accounting principal for per-tenant stats.
+    pub tenant_id: u32,
+    /// The fault set `F`, as edge ids.
+    pub faults: Vec<EdgeId>,
+    /// Connectivity queries `(s, t)` under `G \ F`.
+    pub queries: Vec<(VertexId, VertexId)>,
+}
+
+impl WireLabel for QueryRequestFrame {
+    const KIND: LabelKind = LabelKind::QueryRequest;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        w.write_word(self.request_id, 64);
+        w.write_word(self.tenant_id as u64, 32);
+        w.write_word(self.faults.len() as u64, 32);
+        for e in &self.faults {
+            w.write_word(e.index() as u64, 32);
+        }
+        w.write_word(self.queries.len() as u64, 32);
+        for (s, t) in &self.queries {
+            w.write_word(s.index() as u64, 32);
+            w.write_word(t.index() as u64, 32);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader) -> Result<Self, WireError> {
+        let request_id = r.read_word(64)?;
+        let tenant_id = r.read_word(32)? as u32;
+        let num_faults = r.read_word(32)? as usize;
+        if num_faults > MAX_FAULTS_PER_REQUEST {
+            return Err(WireError::Malformed("fault count over limit"));
+        }
+        if num_faults * 32 > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut faults = Vec::with_capacity(num_faults);
+        for _ in 0..num_faults {
+            faults.push(EdgeId::new(r.read_word(32)? as usize));
+        }
+        let num_queries = r.read_word(32)? as usize;
+        if num_queries > MAX_QUERIES_PER_REQUEST {
+            return Err(WireError::Malformed("query count over limit"));
+        }
+        if num_queries * 64 > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut queries = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let s = VertexId::new(r.read_word(32)? as usize);
+            let t = VertexId::new(r.read_word(32)? as usize);
+            queries.push((s, t));
+        }
+        Ok(QueryRequestFrame {
+            request_id,
+            tenant_id,
+            faults,
+            queries,
+        })
+    }
+}
+
+/// The outcome carried by a [`QueryResponseFrame`]. Status codes on the
+/// wire: 0 = Ok, 1 = ServerBusy, 2 = EngineFailed, 3 = ShuttingDown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// All queries answered; one connectivity bit per query, in request
+    /// order.
+    Ok(Vec<bool>),
+    /// Admission control rejected the request: the pending-query budget
+    /// was full. Retry after a backoff; nothing was executed.
+    ServerBusy {
+        /// Queries already pending when the request arrived.
+        pending: u32,
+        /// The configured budget.
+        budget: u32,
+    },
+    /// The engine could not serve the request's group (bad fault set or a
+    /// contained worker panic). Nothing partial is returned.
+    EngineFailed,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+/// One response, demuxed back to its connection by `request_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponseFrame {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// The epoch the answering batch pinned (0 for rejects, which never
+    /// reach an engine).
+    pub epoch: u64,
+    /// The outcome.
+    pub status: ResponseStatus,
+}
+
+impl WireLabel for QueryResponseFrame {
+    const KIND: LabelKind = LabelKind::QueryResponse;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        w.write_word(self.request_id, 64);
+        w.write_word(self.epoch, 64);
+        match &self.status {
+            ResponseStatus::Ok(answers) => {
+                w.write_word(0, 8);
+                w.write_word(answers.len() as u64, 32);
+                for &a in answers {
+                    w.write_bit(a);
+                }
+            }
+            ResponseStatus::ServerBusy { pending, budget } => {
+                w.write_word(1, 8);
+                w.write_word(*pending as u64, 32);
+                w.write_word(*budget as u64, 32);
+            }
+            ResponseStatus::EngineFailed => w.write_word(2, 8),
+            ResponseStatus::ShuttingDown => w.write_word(3, 8),
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader) -> Result<Self, WireError> {
+        let request_id = r.read_word(64)?;
+        let epoch = r.read_word(64)?;
+        let status = match r.read_word(8)? {
+            0 => {
+                let n = r.read_word(32)? as usize;
+                if n > MAX_QUERIES_PER_REQUEST {
+                    return Err(WireError::Malformed("answer count over limit"));
+                }
+                if n > r.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut answers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    answers.push(r.read_bit()?);
+                }
+                ResponseStatus::Ok(answers)
+            }
+            1 => ResponseStatus::ServerBusy {
+                pending: r.read_word(32)? as u32,
+                budget: r.read_word(32)? as u32,
+            },
+            2 => ResponseStatus::EngineFailed,
+            3 => ResponseStatus::ShuttingDown,
+            _ => return Err(WireError::Malformed("unknown response status")),
+        };
+        Ok(QueryResponseFrame {
+            request_id,
+            epoch,
+            status,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req() -> QueryRequestFrame {
+        QueryRequestFrame {
+            request_id: 42,
+            tenant_id: 7,
+            faults: vec![EdgeId::new(3), EdgeId::new(11)],
+            queries: vec![
+                (VertexId::new(0), VertexId::new(9)),
+                (VertexId::new(4), VertexId::new(4)),
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = req();
+        assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn response_roundtrips_all_statuses() {
+        for status in [
+            ResponseStatus::Ok(vec![true, false, true]),
+            ResponseStatus::Ok(Vec::new()),
+            ResponseStatus::ServerBusy {
+                pending: 100,
+                budget: 64,
+            },
+            ResponseStatus::EngineFailed,
+            ResponseStatus::ShuttingDown,
+        ] {
+            let f = QueryResponseFrame {
+                request_id: 9,
+                epoch: 3,
+                status,
+            };
+            assert_eq!(QueryResponseFrame::from_wire(&f.to_wire()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn oversized_counts_rejected_without_allocation() {
+        // A request whose header claims 2^31 faults in an 8-byte payload
+        // must fail on the count check, not attempt the allocation.
+        let mut w = WireWriter::new();
+        w.write_word(1, 64);
+        w.write_word(0, 32);
+        w.write_word(1 << 31, 32);
+        let bytes = w.finish(LabelKind::QueryRequest);
+        assert_eq!(
+            QueryRequestFrame::from_wire(&bytes),
+            Err(WireError::Malformed("fault count over limit"))
+        );
+    }
+
+    #[test]
+    fn framed_write_read_roundtrip() {
+        let record = req().to_wire();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &record).unwrap();
+        let stop = AtomicBool::new(false);
+        let mut cur = Cursor::new(buf);
+        let body = read_frame(&mut cur, MAX_FRAME_BYTES_DEFAULT, &stop).unwrap();
+        assert_eq!(body, record);
+        // The next read sees EOF at a boundary: a clean close.
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_BYTES_DEFAULT, &stop),
+            Err(FrameError::Closed)
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let stop = AtomicBool::new(false);
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf), 1024, &stop),
+            Err(FrameError::Oversized {
+                len: u32::MAX,
+                max: 1024,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let record = req().to_wire();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &record).unwrap();
+        buf.truncate(buf.len() - 3);
+        let stop = AtomicBool::new(false);
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf), MAX_FRAME_BYTES_DEFAULT, &stop),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn stop_flag_interrupts_a_blocked_read() {
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(ErrorKind::WouldBlock))
+            }
+        }
+        let stop = AtomicBool::new(true);
+        assert_eq!(
+            read_frame(&mut AlwaysTimeout, 1024, &stop),
+            Err(FrameError::Stopped)
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The load-generating client: many concurrent connections, a shared
+//! fault-set vocabulary, and a BFS ground-truth oracle.
+//!
+//! Every answer the server returns is checked against
+//! [`ConnectivityOracle`] — plain BFS connected components on `G \ F` —
+//! so a loadgen run is simultaneously a throughput measurement and an
+//! end-to-end correctness audit of the whole stack (framing, batching,
+//! grouping, demux, engine, labels). `ServerBusy` responses are retried
+//! with a small backoff and counted, never silently dropped.
+
+use crate::frame::{
+    read_frame, write_frame, QueryRequestFrame, QueryResponseFrame, ResponseStatus,
+    MAX_FRAME_BYTES_DEFAULT,
+};
+use ftl_engine::percentile_nearest_rank;
+use ftl_graph::traversal::{connected_components, forbidden_mask};
+use ftl_graph::{EdgeId, Graph, VertexId};
+use ftl_labels::wire::WireLabel;
+use ftl_seeded::splitmix64;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ground truth for a fixed vocabulary of fault sets: component ids per
+/// vertex in `G \ F`, computed once by BFS.
+#[derive(Debug)]
+pub struct ConnectivityOracle {
+    comps: Vec<Vec<usize>>,
+}
+
+impl ConnectivityOracle {
+    /// Precomputes components for every fault set.
+    pub fn new(g: &Graph, fault_sets: &[Vec<EdgeId>]) -> Self {
+        let comps = fault_sets
+            .iter()
+            .map(|faults| {
+                let mask = forbidden_mask(g, faults);
+                connected_components(g, &mask).0
+            })
+            .collect();
+        ConnectivityOracle { comps }
+    }
+
+    /// Whether `s` and `t` are connected in `G \ F` for fault set `set`.
+    /// Out-of-range inputs answer `false`.
+    pub fn connected(&self, set: usize, s: VertexId, t: VertexId) -> bool {
+        let Some(comp) = self.comps.get(set) else {
+            return false;
+        };
+        match (comp.get(s.index()), comp.get(t.index())) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Loadgen shape knobs.
+#[derive(Debug, Copy, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Queries per request.
+    pub queries_per_request: usize,
+    /// PRNG seed (per-client streams are derived from it).
+    pub seed: u64,
+    /// Most times one request is retried through `ServerBusy` before the
+    /// client gives up and counts it unserved.
+    pub max_busy_retries: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 8,
+            requests_per_client: 32,
+            queries_per_request: 16,
+            seed: 1,
+            max_busy_retries: 10_000,
+        }
+    }
+}
+
+/// What a loadgen run observed, aggregated over every client.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests answered `Ok`.
+    pub requests_ok: u64,
+    /// Queries answered across those requests.
+    pub queries_ok: u64,
+    /// Answers that disagreed with the BFS oracle (must be 0).
+    pub mismatches: u64,
+    /// `ServerBusy` responses observed (each retried).
+    pub busy_rejects: u64,
+    /// Requests dropped after exhausting busy retries.
+    pub unserved: u64,
+    /// `EngineFailed` responses.
+    pub engine_failures: u64,
+    /// `ShuttingDown` responses.
+    pub shutdown_notices: u64,
+    /// Socket/protocol errors on the client side.
+    pub io_errors: u64,
+    /// Wall-clock of the whole run, nanoseconds.
+    pub wall_ns: u64,
+    /// Nearest-rank median end-to-end request latency, milliseconds.
+    pub p50_ms: f64,
+    /// Nearest-rank p99 end-to-end request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Answered queries per wall-clock second.
+    pub queries_per_sec: f64,
+}
+
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    requests_ok: u64,
+    queries_ok: u64,
+    mismatches: u64,
+    busy_rejects: u64,
+    unserved: u64,
+    engine_failures: u64,
+    shutdown_notices: u64,
+    io_errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Runs the full loadgen against `addr`, checking every answer against a
+/// fresh BFS oracle over `(g, fault_sets)`.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    g: &Graph,
+    fault_sets: &[Vec<EdgeId>],
+    config: LoadgenConfig,
+) -> LoadgenReport {
+    let oracle = Arc::new(ConnectivityOracle::new(g, fault_sets));
+    let sets: Arc<Vec<Vec<EdgeId>>> = Arc::new(fault_sets.to_vec());
+    let n = g.num_vertices();
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(config.clients);
+    for c in 0..config.clients {
+        let oracle = Arc::clone(&oracle);
+        let sets = Arc::clone(&sets);
+        let spawned = std::thread::Builder::new()
+            .name(format!("ftl-load-{c}"))
+            .spawn(move || run_client(c, addr, n, &oracle, &sets, config));
+        joins.push(spawned);
+    }
+    let mut report = LoadgenReport::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    for j in joins {
+        let outcome = match j.map(|h| h.join()) {
+            Ok(Ok(o)) => o,
+            // A client thread failed to spawn or died; its requests count
+            // as client-side errors, not server successes.
+            _ => ClientOutcome {
+                io_errors: 1,
+                ..ClientOutcome::default()
+            },
+        };
+        report.requests_ok += outcome.requests_ok;
+        report.queries_ok += outcome.queries_ok;
+        report.mismatches += outcome.mismatches;
+        report.busy_rejects += outcome.busy_rejects;
+        report.unserved += outcome.unserved;
+        report.engine_failures += outcome.engine_failures;
+        report.shutdown_notices += outcome.shutdown_notices;
+        report.io_errors += outcome.io_errors;
+        latencies.extend(outcome.latencies_ns.iter().map(|&ns| ns as f64));
+    }
+    report.wall_ns = started.elapsed().as_nanos() as u64;
+    latencies.sort_by(f64::total_cmp);
+    report.p50_ms = percentile_nearest_rank(&latencies, 0.5) / 1e6;
+    report.p99_ms = percentile_nearest_rank(&latencies, 0.99) / 1e6;
+    let secs = (report.wall_ns as f64 / 1e9).max(1e-9);
+    report.queries_per_sec = report.queries_ok as f64 / secs;
+    report
+}
+
+fn run_client(
+    id: usize,
+    addr: SocketAddr,
+    num_vertices: usize,
+    oracle: &ConnectivityOracle,
+    sets: &[Vec<EdgeId>],
+    config: LoadgenConfig,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        out.io_errors += 1;
+        return out;
+    };
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .is_err()
+    {
+        out.io_errors += 1;
+        return out;
+    }
+    let never_stop = AtomicBool::new(false);
+    let mut state = splitmix64(config.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    'requests: for r in 0..config.requests_per_client {
+        state = splitmix64(state);
+        let set_idx = if sets.is_empty() {
+            0
+        } else {
+            (state % sets.len() as u64) as usize
+        };
+        let faults = sets.get(set_idx).cloned().unwrap_or_default();
+        let mut queries = Vec::with_capacity(config.queries_per_request);
+        for _ in 0..config.queries_per_request {
+            state = splitmix64(state);
+            let s = (state % num_vertices.max(1) as u64) as usize;
+            state = splitmix64(state);
+            let t = (state % num_vertices.max(1) as u64) as usize;
+            queries.push((VertexId::new(s), VertexId::new(t)));
+        }
+        let request = QueryRequestFrame {
+            request_id: ((id as u64) << 32) | r as u64,
+            tenant_id: id as u32,
+            faults,
+            queries: queries.clone(),
+        };
+        let record = request.to_wire();
+        let mut retries = 0usize;
+        let sent_at = Instant::now();
+        loop {
+            if write_frame(&mut stream, &record).is_err() {
+                out.io_errors += 1;
+                break 'requests;
+            }
+            let Ok(body) = read_frame(&mut stream, MAX_FRAME_BYTES_DEFAULT, &never_stop) else {
+                out.io_errors += 1;
+                break 'requests;
+            };
+            let Ok(resp) = QueryResponseFrame::from_wire(&body) else {
+                out.io_errors += 1;
+                break 'requests;
+            };
+            if resp.request_id != request.request_id {
+                out.io_errors += 1;
+                break 'requests;
+            }
+            match resp.status {
+                ResponseStatus::Ok(answers) => {
+                    out.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                    out.requests_ok += 1;
+                    if answers.len() != queries.len() {
+                        out.mismatches += 1;
+                        break;
+                    }
+                    for (&(s, t), &got) in queries.iter().zip(&answers) {
+                        out.queries_ok += 1;
+                        if got != oracle.connected(set_idx, s, t) {
+                            out.mismatches += 1;
+                        }
+                    }
+                    break;
+                }
+                ResponseStatus::ServerBusy { .. } => {
+                    out.busy_rejects += 1;
+                    retries += 1;
+                    if retries > config.max_busy_retries {
+                        out.unserved += 1;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                ResponseStatus::EngineFailed => {
+                    out.engine_failures += 1;
+                    break;
+                }
+                ResponseStatus::ShuttingDown => {
+                    out.shutdown_notices += 1;
+                    break 'requests;
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! The sharded connection registry: who is connected, and how to write
+//! back to them.
+//!
+//! Reader threads register on accept and deregister on exit; executor
+//! threads look writers up by connection id when demultiplexing
+//! responses. Ids are dense and strictly increasing, routed to a shard by
+//! low bits, so registration from many reader threads contends on
+//! different shards.
+//!
+//! A [`ConnWriter`] holds the write half (a `try_clone` of the stream)
+//! behind a poison-recovering slot (`locked::Slot`), because two executors can finish windows carrying
+//! responses for the *same* connection concurrently — the slot makes each
+//! response frame atomic on the stream.
+
+use crate::frame::write_frame;
+use crate::locked::Slot;
+use ftl_seeded::DetHashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+/// The write half of one registered connection.
+#[derive(Debug)]
+pub struct ConnWriter {
+    stream: Slot<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Writes one length-prefixed frame; concurrent senders serialize on
+    /// the slot so frames never interleave.
+    pub fn send(&self, record: &[u8]) -> std::io::Result<()> {
+        self.stream.with(|s| write_frame(s, record))
+    }
+}
+
+/// The registry proper.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Slot<DetHashMap<u64, Arc<ConnWriter>>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS).map(|_| Slot::default()).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, id: u64) -> Option<&Slot<DetHashMap<u64, Arc<ConnWriter>>>> {
+        self.shards.get(id as usize % SHARDS)
+    }
+
+    /// Registers a connection's write half, returning its id and writer
+    /// handle.
+    pub fn register(&self, stream: &TcpStream) -> std::io::Result<(u64, Arc<ConnWriter>)> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let writer = Arc::new(ConnWriter {
+            stream: Slot::new(stream.try_clone()?),
+        });
+        if let Some(shard) = self.shard(id) {
+            shard.with(|m| m.insert(id, Arc::clone(&writer)));
+        }
+        Ok((id, writer))
+    }
+
+    /// Removes a connection; responses demuxed to it afterwards are
+    /// dropped silently (the client is gone).
+    pub fn deregister(&self, id: u64) {
+        if let Some(shard) = self.shard(id) {
+            shard.with(|m| m.remove(&id));
+        }
+    }
+
+    /// Looks a live connection's writer up.
+    pub fn get(&self, id: u64) -> Option<Arc<ConnWriter>> {
+        self.shard(id)?.with(|m| m.get(&id).map(Arc::clone))
+    }
+
+    /// Live connections.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.with(|m| m.len())).sum()
+    }
+
+    /// Whether no connection is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,427 @@
+//! The serving front end: accept loop, per-connection readers, and the
+//! batch executors.
+//!
+//! Thread model (no async runtime — plain blocking I/O):
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (1 per connection)
+//!                         │ decode frame → admission check → submit
+//!                         ▼
+//!                      Batcher (accumulation window, bounded budget)
+//!                         │ take window
+//!                         ▼
+//!                      executor (config.executors threads)
+//!                         │ group by canonical fault-set hash
+//!                         │ ParEngine/Engine::execute_grouped (epoch-pinned)
+//!                         ▼
+//!                      Registry ──▶ response frames, demuxed by request id
+//! ```
+//!
+//! The acceptor polls a nonblocking listener so it can observe the stop
+//! flag; readers use a short read timeout for the same reason (the frame
+//! codec keeps partial fills across timeouts, so this never corrupts a
+//! stream). Shutdown is graceful by construction: stop flag → acceptor
+//! joins every reader (no further submissions) → batcher closes →
+//! executors drain every queued window on the epoch each window pins →
+//! handle joins the executors.
+
+use crate::batcher::{Batcher, Pending, SubmitError};
+use crate::frame::{
+    read_frame, FrameError, QueryRequestFrame, QueryResponseFrame, ResponseStatus,
+    MAX_FRAME_BYTES_DEFAULT,
+};
+use crate::registry::Registry;
+use crate::stats::{ServerStats, StatsSnapshot};
+use ftl_engine::{
+    canonical_fault_hash, Engine, EngineConfig, EpochStore, FaultSetBatch, GroupedResponse,
+    ParEngine,
+};
+use ftl_labels::wire::WireLabel;
+use ftl_seeded::DetHashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Copy, Clone)]
+pub struct ServerConfig {
+    /// Batch-executor threads. Each owns its own epoch-following engine;
+    /// more executors overlap window execution with window accumulation.
+    pub executors: usize,
+    /// `ParEngine` workers inside each executor (`<= 1` means a serial
+    /// engine).
+    pub engine_workers: usize,
+    /// How long an executor holds a non-empty window open for more
+    /// connections to join.
+    pub window: Duration,
+    /// Admission-control budget: most queries that may be pending across
+    /// all connections before submissions bounce with `ServerBusy`.
+    pub pending_budget: usize,
+    /// Per-frame byte ceiling; larger declared lengths close the
+    /// connection before any allocation.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout — the granularity at which an idle reader
+    /// notices shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            executors: 2,
+            engine_workers: 2,
+            window: Duration::from_micros(500),
+            pending_budget: 1 << 16,
+            max_frame_bytes: MAX_FRAME_BYTES_DEFAULT,
+            read_timeout: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Serial or parallel executor engine, chosen by
+/// [`ServerConfig::engine_workers`].
+enum ExecEngine {
+    Serial(Box<Engine>),
+    Par(ParEngine),
+}
+
+impl ExecEngine {
+    fn new(epochs: Arc<EpochStore>, config: EngineConfig, workers: usize) -> Self {
+        if workers > 1 {
+            ExecEngine::Par(ParEngine::over_epochs(epochs, config, workers))
+        } else {
+            ExecEngine::Serial(Box::new(Engine::over_epochs(epochs, config)))
+        }
+    }
+
+    fn execute_grouped(&mut self, groups: &[FaultSetBatch]) -> GroupedResponse {
+        match self {
+            ExecEngine::Serial(e) => e.execute_grouped(groups),
+            ExecEngine::Par(e) => e.execute_grouped(groups),
+        }
+    }
+}
+
+/// Namespace for [`Server::spawn`].
+pub struct Server;
+
+/// A running server; dropping it signals the threads to stop, calling
+/// [`shutdown`](ServerHandle::shutdown) stops them *gracefully* and
+/// returns the final counters.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    batcher: Arc<Batcher>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and spawns the acceptor plus the executor pool.
+    pub fn spawn(
+        epochs: Arc<EpochStore>,
+        engine_config: EngineConfig,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let batcher = Arc::new(Batcher::new(config.pending_budget, config.window));
+        let registry = Arc::new(Registry::new());
+        let stats = Arc::new(ServerStats::new());
+
+        let mut executors = Vec::with_capacity(config.executors.max(1));
+        for i in 0..config.executors.max(1) {
+            let epochs = Arc::clone(&epochs);
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let workers = config.engine_workers;
+            let handle = std::thread::Builder::new()
+                .name(format!("ftl-exec-{i}"))
+                .spawn(move || {
+                    let mut engine = ExecEngine::new(epochs, engine_config, workers);
+                    while let Some(window) = batcher.next_window() {
+                        execute_window(&mut engine, &window, &registry, &stats);
+                    }
+                })?;
+            executors.push(handle);
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("ftl-accept".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, &stop, &batcher, &registry, &stats, config);
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            batcher,
+            stats,
+            acceptor: Some(acceptor),
+            executors,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, join the readers, drain every
+    /// window already admitted, join the executors, and return the final
+    /// counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // All readers have exited: nothing can submit anymore. Close the
+        // batcher so executors flush what was admitted and then exit.
+        self.batcher.close();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Signal only — a dropped handle must not block, but its threads
+        // must die promptly.
+        self.stop.store(true, Ordering::Relaxed);
+        self.batcher.close();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    batcher: &Arc<Batcher>,
+    registry: &Arc<Registry>,
+    stats: &Arc<ServerStats>,
+    config: ServerConfig,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.record_connection();
+                let stop = Arc::clone(stop);
+                let batcher = Arc::clone(batcher);
+                let registry = Arc::clone(registry);
+                let stats = Arc::clone(stats);
+                let spawned = std::thread::Builder::new()
+                    .name("ftl-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, &stop, &batcher, &registry, &stats, config);
+                    });
+                if let Ok(h) = spawned {
+                    readers.push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// One connection's read loop: frame → decode → admission → submit.
+/// Every protocol violation (bad magic, wrong version, oversize length,
+/// truncation, malformed payload) closes the connection — a client that
+/// desynced once can only send garbage afterwards.
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    batcher: &Batcher,
+    registry: &Registry,
+    stats: &ServerStats,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+    let Ok((conn, writer)) = registry.register(&stream) else {
+        return;
+    };
+    // On shutdown (stop flag) the connection stays registered: executors
+    // drain admitted windows *after* readers exit, and the drained
+    // responses still need this connection's writer. Registry teardown is
+    // the handle's problem, not the reader's.
+    let mut keep_registered = false;
+    loop {
+        match read_frame(&mut stream, config.max_frame_bytes, stop) {
+            Ok(record) => match QueryRequestFrame::from_wire(&record) {
+                Ok(req) => {
+                    let (request_id, tenant) = (req.request_id, req.tenant_id);
+                    let submitted = batcher.submit(Pending {
+                        conn,
+                        request_id,
+                        tenant,
+                        faults: req.faults,
+                        queries: req.queries,
+                        enqueued: Instant::now(),
+                    });
+                    let reject = match submitted {
+                        Ok(()) => continue,
+                        Err(SubmitError::Busy { pending, budget }) => {
+                            stats.record_reject(tenant);
+                            ResponseStatus::ServerBusy { pending, budget }
+                        }
+                        Err(SubmitError::ShuttingDown) => ResponseStatus::ShuttingDown,
+                    };
+                    let done = matches!(reject, ResponseStatus::ShuttingDown);
+                    let frame = QueryResponseFrame {
+                        request_id,
+                        epoch: 0,
+                        status: reject,
+                    };
+                    if writer.send(&frame.to_wire()).is_err() || done {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    stats.record_frame_error();
+                    break;
+                }
+            },
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Stopped) => {
+                keep_registered = true;
+                break;
+            }
+            Err(_) => {
+                stats.record_frame_error();
+                break;
+            }
+        }
+    }
+    if !keep_registered {
+        registry.deregister(conn);
+    }
+}
+
+/// Executes one accumulation window: group by canonical fault-set hash,
+/// run the engine once per distinct fault set, demux responses by
+/// request id.
+fn execute_window(
+    engine: &mut ExecEngine,
+    window: &[Pending],
+    registry: &Registry,
+    stats: &ServerStats,
+) {
+    let mut by_hash: DetHashMap<u64, usize> = DetHashMap::default();
+    let mut groups: Vec<FaultSetBatch> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (i, p) in window.iter().enumerate() {
+        let hash = canonical_fault_hash(&p.faults);
+        // A canonical-hash collision between *different* fault sets must
+        // not merge them; such a request gets its own unregistered group.
+        let gi = match by_hash.get(&hash) {
+            Some(&gi) if groups.get(gi).is_some_and(|g| g.faults == p.faults) => gi,
+            Some(_) => fresh_group(&mut groups, &mut members, p),
+            None => {
+                let gi = fresh_group(&mut groups, &mut members, p);
+                by_hash.insert(hash, gi);
+                gi
+            }
+        };
+        if let (Some(g), Some(m)) = (groups.get_mut(gi), members.get_mut(gi)) {
+            g.queries.extend(p.queries.iter().copied());
+            m.push(i);
+        }
+    }
+
+    let resp = engine.execute_grouped(&groups);
+    stats.record_batch(groups.len());
+    let epoch = resp.stats.epoch;
+
+    for (gi, result) in resp.groups.iter().enumerate() {
+        let Some(member_idxs) = members.get(gi) else {
+            continue;
+        };
+        match result {
+            Ok(answers) => {
+                let mut cursor = 0usize;
+                for &wi in member_idxs {
+                    let Some(p) = window.get(wi) else { continue };
+                    let n = p.queries.len();
+                    let slice = answers.get(cursor..cursor + n);
+                    cursor += n;
+                    let status = match slice {
+                        Some(rs) => ResponseStatus::Ok(rs.iter().map(|r| r.connected).collect()),
+                        None => ResponseStatus::EngineFailed,
+                    };
+                    let ok_queries = matches!(status, ResponseStatus::Ok(_)).then_some(n);
+                    respond(registry, p, epoch, status);
+                    match ok_queries {
+                        Some(n) => {
+                            stats.record_ok(p.tenant, n, p.enqueued.elapsed().as_nanos() as u64)
+                        }
+                        None => stats.record_engine_error(),
+                    }
+                }
+            }
+            Err(_) => {
+                for &wi in member_idxs {
+                    let Some(p) = window.get(wi) else { continue };
+                    stats.record_engine_error();
+                    respond(registry, p, epoch, ResponseStatus::EngineFailed);
+                }
+            }
+        }
+    }
+}
+
+fn fresh_group(
+    groups: &mut Vec<FaultSetBatch>,
+    members: &mut Vec<Vec<usize>>,
+    p: &Pending,
+) -> usize {
+    groups.push(FaultSetBatch {
+        faults: p.faults.clone(),
+        queries: Vec::new(),
+    });
+    members.push(Vec::new());
+    groups.len() - 1
+}
+
+/// Writes one response; a vanished connection (already deregistered)
+/// or a dead socket just drops the frame — the client is gone.
+fn respond(registry: &Registry, p: &Pending, epoch: u64, status: ResponseStatus) {
+    let frame = QueryResponseFrame {
+        request_id: p.request_id,
+        epoch,
+        status,
+    };
+    if let Some(writer) = registry.get(p.conn) {
+        let _ = writer.send(&frame.to_wire());
+    }
+}

@@ -1,0 +1,114 @@
+//! A tiny topology spec language, so `ftl-serve` and `ftl-loadgen` can
+//! agree on a graph (and the loadgen's BFS oracle on the ground truth)
+//! from nothing but command-line flags.
+//!
+//! Specs: `grid:ROWSxCOLS` · `er:N:AVG_DEG` (connected Erdős–Rényi,
+//! `p = AVG_DEG / N`) · `ba:N:M` (Barabási–Albert, `M` attachments per
+//! vertex). The random families are deterministic in the given seed, so
+//! the same `(spec, seed)` pair names the same graph on both sides of
+//! the socket.
+
+use ftl_graph::{generators, EdgeId, Graph};
+use ftl_seeded::{splitmix64, DetHashSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parses a topology spec (see module docs).
+pub fn parse_graph_spec(spec: &str, seed: u64) -> Result<Graph, String> {
+    let mut parts = spec.split(':');
+    let family = parts.next().unwrap_or_default();
+    match family {
+        "grid" => {
+            let dims = parts.next().ok_or("grid spec needs ROWSxCOLS")?;
+            let (rows, cols) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("bad grid dims `{dims}` (want ROWSxCOLS)"))?;
+            let rows: usize = rows.parse().map_err(|_| format!("bad rows `{rows}`"))?;
+            let cols: usize = cols.parse().map_err(|_| format!("bad cols `{cols}`"))?;
+            if rows * cols == 0 {
+                return Err("grid must be non-empty".to_string());
+            }
+            Ok(generators::grid(rows, cols))
+        }
+        "er" => {
+            let n: usize = parse_field(parts.next(), "er spec needs N")?;
+            let deg: f64 = parse_field(parts.next(), "er spec needs AVG_DEG")?;
+            if n == 0 || deg <= 0.0 {
+                return Err("er needs N > 0 and AVG_DEG > 0".to_string());
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            Ok(generators::connected_random(n, deg / n as f64, 1, &mut rng))
+        }
+        "ba" => {
+            let n: usize = parse_field(parts.next(), "ba spec needs N")?;
+            let m: usize = parse_field(parts.next(), "ba spec needs M")?;
+            if n == 0 || m == 0 {
+                return Err("ba needs N > 0 and M > 0".to_string());
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            Ok(generators::barabasi_albert(n, m, &mut rng))
+        }
+        other => Err(format!(
+            "unknown graph family `{other}` (want grid | er | ba)"
+        )),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, missing: &str) -> Result<T, String> {
+    let raw = field.ok_or_else(|| missing.to_string())?;
+    raw.parse().map_err(|_| format!("bad field `{raw}`"))
+}
+
+/// Derives `count` distinct fault sets of `per_set` distinct edges each,
+/// deterministically in `seed` — the shared vocabulary of a loadgen run:
+/// every client draws its per-request fault set from this list, which is
+/// exactly what makes cross-connection batching effective.
+pub fn derive_fault_sets(g: &Graph, count: usize, per_set: usize, seed: u64) -> Vec<Vec<EdgeId>> {
+    let m = g.num_edges();
+    let per_set = per_set.min(m);
+    let mut state = splitmix64(seed ^ 0xFA11_5E75);
+    (0..count)
+        .map(|_| {
+            let mut seen = DetHashSet::default();
+            let mut set = Vec::with_capacity(per_set);
+            while set.len() < per_set {
+                state = splitmix64(state);
+                let e = EdgeId::new((state % m as u64) as usize);
+                if seen.insert(e) {
+                    set.push(e);
+                }
+            }
+            set
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_are_seed_deterministic() {
+        let g = parse_graph_spec("grid:4x5", 0).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        let a = parse_graph_spec("er:64:4", 7).unwrap();
+        let b = parse_graph_spec("er:64:4", 7).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(parse_graph_spec("er:0:4", 7).is_err());
+        assert!(parse_graph_spec("mesh:9", 7).is_err());
+        assert!(parse_graph_spec("grid:9", 7).is_err());
+    }
+
+    #[test]
+    fn fault_sets_are_distinct_edges_and_deterministic() {
+        let g = parse_graph_spec("grid:8x8", 0).unwrap();
+        let sets = derive_fault_sets(&g, 8, 4, 99);
+        assert_eq!(sets.len(), 8);
+        for s in &sets {
+            assert_eq!(s.len(), 4);
+            let uniq: DetHashSet<_> = s.iter().collect();
+            assert_eq!(uniq.len(), 4);
+        }
+        assert_eq!(sets, derive_fault_sets(&g, 8, 4, 99));
+    }
+}

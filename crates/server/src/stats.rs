@@ -1,0 +1,191 @@
+//! Per-tenant and server-wide serving counters.
+//!
+//! Hot-path updates are cheap: server-wide counters are single atomic
+//! adds, per-tenant counters take one short `locked::Slot` hold. Latency is
+//! recorded as raw nanosecond samples (capped per tenant so a long-lived
+//! server cannot grow without bound) and summarized to nearest-rank
+//! p50/p99 — the same estimator the bench harness uses
+//! (`ftl_engine::percentile_nearest_rank`) — only at snapshot time.
+
+use crate::locked::Slot;
+use ftl_engine::percentile_nearest_rank;
+use ftl_seeded::DetHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Most latency samples kept per tenant; later samples still count but
+/// stop being sampled for percentiles.
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct TenantCounters {
+    requests: u64,
+    queries: u64,
+    rejects: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One tenant's snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSnapshot {
+    /// The tenant id from the request frames.
+    pub tenant: u32,
+    /// Requests answered `Ok`.
+    pub requests: u64,
+    /// Queries answered across those requests.
+    pub queries: u64,
+    /// Requests rejected by admission control (`ServerBusy`).
+    pub rejects: u64,
+    /// Nearest-rank median service latency (submit → response written),
+    /// milliseconds.
+    pub p50_ms: f64,
+    /// Nearest-rank 99th-percentile service latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A point-in-time view of every counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Accumulation windows executed.
+    pub batches: u64,
+    /// Fault-set groups executed across those windows (`batches <=
+    /// groups <= requests` when batching is working).
+    pub groups: u64,
+    /// Queries answered `Ok`, all tenants.
+    pub queries: u64,
+    /// Requests answered `Ok`, all tenants.
+    pub requests: u64,
+    /// `ServerBusy` rejects, all tenants.
+    pub rejects: u64,
+    /// Requests that came back `EngineFailed`.
+    pub engine_errors: u64,
+    /// Connections dropped for protocol violations (bad magic, oversize
+    /// frame, truncation, malformed payload).
+    pub frame_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Per-tenant breakdown, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// The live counters, shared by readers, executors, and the acceptor.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    batches: AtomicU64,
+    groups: AtomicU64,
+    queries: AtomicU64,
+    requests: AtomicU64,
+    rejects: AtomicU64,
+    engine_errors: AtomicU64,
+    frame_errors: AtomicU64,
+    connections_accepted: AtomicU64,
+    tenants: Slot<DetHashMap<u32, TenantCounters>>,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Records a request answered `Ok`.
+    pub fn record_ok(&self, tenant: u32, queries: usize, latency_ns: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.tenants.with(|t| {
+            let c = t.entry(tenant).or_default();
+            c.requests += 1;
+            c.queries += queries as u64;
+            if c.latencies_ns.len() < MAX_LATENCY_SAMPLES {
+                c.latencies_ns.push(latency_ns);
+            }
+        });
+    }
+
+    /// Records an admission-control reject.
+    pub fn record_reject(&self, tenant: u32) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        self.tenants
+            .with(|t| t.entry(tenant).or_default().rejects += 1);
+    }
+
+    /// Records one executed accumulation window of `groups` fault-set
+    /// groups.
+    pub fn record_batch(&self, groups: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.groups.fetch_add(groups as u64, Ordering::Relaxed);
+    }
+
+    /// Records a request whose group failed in the engine.
+    pub fn record_engine_error(&self) {
+        self.engine_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped for a protocol violation.
+    pub fn record_frame_error(&self) {
+        self.frame_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter, summarizing latencies to p50/p99.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut tenants: Vec<TenantSnapshot> = self.tenants.with(|t| {
+            t.iter()
+                .map(|(&tenant, c)| {
+                    let mut sorted: Vec<f64> = c.latencies_ns.iter().map(|&ns| ns as f64).collect();
+                    sorted.sort_by(f64::total_cmp);
+                    TenantSnapshot {
+                        tenant,
+                        requests: c.requests,
+                        queries: c.queries,
+                        rejects: c.rejects,
+                        p50_ms: percentile_nearest_rank(&sorted, 0.5) / 1e6,
+                        p99_ms: percentile_nearest_rank(&sorted, 0.99) / 1e6,
+                    }
+                })
+                .collect()
+        });
+        tenants.sort_by_key(|t| t.tenant);
+        StatsSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            engine_errors: self.engine_errors.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_counters_aggregate_per_tenant() {
+        let s = ServerStats::new();
+        for i in 1..=100u64 {
+            s.record_ok(7, 4, i * 1_000_000); // 1ms..100ms
+        }
+        s.record_reject(7);
+        s.record_ok(9, 1, 5_000_000);
+        s.record_batch(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 101);
+        assert_eq!(snap.queries, 401);
+        assert_eq!(snap.rejects, 1);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.groups, 3);
+        assert_eq!(snap.tenants.len(), 2);
+        let t7 = &snap.tenants[0];
+        assert_eq!((t7.tenant, t7.requests, t7.rejects), (7, 100, 1));
+        assert_eq!(t7.p50_ms, 50.0);
+        assert_eq!(t7.p99_ms, 99.0);
+    }
+}

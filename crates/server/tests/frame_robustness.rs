@@ -1,0 +1,149 @@
+//! Property tests for the serving envelope: round-trips, and the
+//! guarantee that corrupted or truncated frames decode to typed errors —
+//! never a panic, never a silent misparse, never a hang.
+
+// Test code: panicking asserts are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ftl_graph::{EdgeId, VertexId};
+use ftl_labels::wire::WireLabel;
+use ftl_server::{
+    frame, QueryRequestFrame, QueryResponseFrame, ResponseStatus, MAX_FRAME_BYTES_DEFAULT,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::sync::atomic::AtomicBool;
+
+fn request(
+    request_id: u64,
+    tenant: u32,
+    faults: &[u32],
+    queries: &[(u32, u32)],
+) -> QueryRequestFrame {
+    QueryRequestFrame {
+        request_id,
+        tenant_id: tenant,
+        faults: faults.iter().map(|&e| EdgeId::new(e as usize)).collect(),
+        queries: queries
+            .iter()
+            .map(|&(s, t)| (VertexId::new(s as usize), VertexId::new(t as usize)))
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Requests of any shape round-trip exactly.
+    #[test]
+    fn request_roundtrip(
+        request_id in any::<u64>(),
+        tenant in any::<u32>(),
+        faults in proptest::collection::vec(any::<u32>(), 0..40),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let r = request(request_id, tenant, &faults, &queries);
+        prop_assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    /// Responses of every status round-trip exactly.
+    #[test]
+    fn response_roundtrip(
+        request_id in any::<u64>(),
+        epoch in any::<u64>(),
+        pick in 0u8..4,
+        answers in proptest::collection::vec(any::<bool>(), 0..80),
+        pending in any::<u32>(),
+        budget in any::<u32>(),
+    ) {
+        let status = match pick {
+            0 => ResponseStatus::Ok(answers),
+            1 => ResponseStatus::ServerBusy { pending, budget },
+            2 => ResponseStatus::EngineFailed,
+            _ => ResponseStatus::ShuttingDown,
+        };
+        let f = QueryResponseFrame { request_id, epoch, status };
+        prop_assert_eq!(QueryResponseFrame::from_wire(&f.to_wire()).unwrap(), f);
+    }
+
+    /// Any single-byte smear of the 8-byte record header is rejected with
+    /// a typed error — magic, version, kind, and bit-length corruption
+    /// are all caught before any payload is interpreted.
+    #[test]
+    fn smeared_header_always_rejected(
+        byte in 0usize..8,
+        mask in 1u8..=255,
+        faults in proptest::collection::vec(any::<u32>(), 0..10),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..10),
+    ) {
+        let mut bytes = request(1, 2, &faults, &queries).to_wire();
+        bytes[byte] ^= mask;
+        prop_assert!(QueryRequestFrame::from_wire(&bytes).is_err());
+
+        let mut bytes = QueryResponseFrame {
+            request_id: 1,
+            epoch: 2,
+            status: ResponseStatus::Ok(vec![true; queries.len()]),
+        }
+        .to_wire();
+        bytes[byte] ^= mask;
+        prop_assert!(QueryResponseFrame::from_wire(&bytes).is_err());
+    }
+
+    /// Every strict prefix of a record fails to decode (typed error, no
+    /// panic) — a cut-off stream can never yield a phantom frame.
+    #[test]
+    fn truncated_record_always_rejected(
+        cut_permille in 0usize..1000,
+        faults in proptest::collection::vec(any::<u32>(), 0..10),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..10),
+    ) {
+        let bytes = request(1, 2, &faults, &queries).to_wire();
+        let cut = (bytes.len() - 1) * cut_permille / 1000;
+        prop_assert!(QueryRequestFrame::from_wire(&bytes[..cut]).is_err());
+    }
+
+    /// Arbitrary byte soup never decodes (or panics): without the magic
+    /// pair it cannot even open.
+    #[test]
+    fn byte_soup_never_decodes(mut soup in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Some(first) = soup.first_mut() {
+            if *first == 0xF7 {
+                *first = 0;
+            }
+        }
+        prop_assert!(QueryRequestFrame::from_wire(&soup).is_err());
+        prop_assert!(QueryResponseFrame::from_wire(&soup).is_err());
+    }
+
+    /// A framed message cut at any point reads back as a typed error —
+    /// `Closed` exactly at a frame boundary, `Truncated` anywhere inside.
+    #[test]
+    fn truncated_frame_stream_is_typed(
+        cut_permille in 0usize..1000,
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..10),
+    ) {
+        let record = request(9, 9, &[1, 2], &queries).to_wire();
+        let mut framed = Vec::new();
+        frame::write_frame(&mut framed, &record).unwrap();
+        let cut = (framed.len() - 1) * cut_permille / 1000;
+        framed.truncate(cut);
+        let stop = AtomicBool::new(false);
+        let got = frame::read_frame(&mut Cursor::new(framed), MAX_FRAME_BYTES_DEFAULT, &stop);
+        if cut == 0 {
+            prop_assert_eq!(got, Err(frame::FrameError::Closed));
+        } else {
+            prop_assert_eq!(got, Err(frame::FrameError::Truncated));
+        }
+    }
+
+    /// Declared lengths over the ceiling are rejected before the body is
+    /// read or allocated, whatever the declared value.
+    #[test]
+    fn oversized_length_rejected(extra in 1u32..=1 << 16, max in 16u32..4096) {
+        let len = max + extra;
+        let mut framed = Vec::from(len.to_le_bytes());
+        framed.resize(framed.len() + 32, 0xAB);
+        let stop = AtomicBool::new(false);
+        let got = frame::read_frame(&mut Cursor::new(framed), max as usize, &stop);
+        prop_assert_eq!(got, Err(frame::FrameError::Oversized { len, max }));
+    }
+}

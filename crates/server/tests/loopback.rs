@@ -1,0 +1,289 @@
+//! End-to-end loopback tests: real sockets, real threads, BFS ground
+//! truth. The headline scenario is the PR's acceptance criterion — 64
+//! concurrent connections sharing 8 fault sets, every answer correct,
+//! and far fewer engine executions than requests.
+
+// Test code: panicking asserts are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ftl_cycle_space::CycleSpaceScheme;
+use ftl_engine::{store_from_cycle_space, EngineConfig, EpochStore};
+use ftl_graph::generators;
+use ftl_graph::{EdgeId, VertexId};
+use ftl_labels::wire::WireLabel;
+use ftl_seeded::Seed;
+use ftl_server::{
+    derive_fault_sets, frame, run_loadgen, LoadgenConfig, QueryRequestFrame, QueryResponseFrame,
+    ResponseStatus, Server, ServerConfig, ServerHandle,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spawn_server(g: &ftl_graph::Graph, config: ServerConfig) -> ServerHandle {
+    let scheme = CycleSpaceScheme::label(g, 8, Seed::new(7)).expect("graph is connected");
+    let store = store_from_cycle_space(&scheme, 8).unwrap();
+    let epochs = Arc::new(EpochStore::new(Arc::new(store)));
+    Server::spawn(epochs, EngineConfig::default(), config, "127.0.0.1:0").unwrap()
+}
+
+fn read_response(stream: &mut TcpStream) -> QueryResponseFrame {
+    let stop = AtomicBool::new(false);
+    let body = frame::read_frame(stream, frame::MAX_FRAME_BYTES_DEFAULT, &stop).unwrap();
+    QueryResponseFrame::from_wire(&body).unwrap()
+}
+
+fn send_request(stream: &mut TcpStream, req: &QueryRequestFrame) {
+    frame::write_frame(stream, &req.to_wire()).unwrap();
+}
+
+/// The acceptance scenario: 64 concurrent connections, a shared
+/// vocabulary of 8 fault sets, every response checked against BFS, and
+/// cross-connection batching actually collapsing the work.
+#[test]
+fn sixty_four_connections_eight_fault_sets_batched_and_correct() {
+    let g = generators::grid(16, 16);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 2,
+            engine_workers: 2,
+            window: Duration::from_millis(4),
+            ..ServerConfig::default()
+        },
+    );
+    let sets = derive_fault_sets(&g, 8, 4, 99);
+    let report = run_loadgen(
+        handle.local_addr(),
+        &g,
+        &sets,
+        LoadgenConfig {
+            clients: 64,
+            requests_per_client: 8,
+            queries_per_request: 8,
+            seed: 5,
+            ..LoadgenConfig::default()
+        },
+    );
+    let stats = handle.shutdown();
+
+    assert_eq!(report.mismatches, 0, "answers must match BFS ground truth");
+    assert_eq!(report.io_errors, 0);
+    assert_eq!(report.unserved, 0);
+    assert_eq!(report.requests_ok, 64 * 8);
+    assert_eq!(report.queries_ok, 64 * 8 * 8);
+    assert_eq!(stats.requests, 64 * 8);
+    assert_eq!(stats.queries, 64 * 8 * 8);
+    assert_eq!(stats.connections_accepted, 64);
+    assert_eq!(stats.tenants.len(), 64);
+    // Cross-connection batching: 512 requests over an 8-set vocabulary
+    // must collapse into far fewer engine executions than requests.
+    assert!(stats.batches >= 1);
+    assert!(
+        stats.groups < stats.requests / 2,
+        "batching collapsed {} requests into {} groups across {} windows — not enough sharing",
+        stats.requests,
+        stats.groups,
+        stats.batches
+    );
+    // Latency percentiles were recorded for every tenant.
+    assert!(stats.tenants.iter().all(|t| t.p99_ms > 0.0));
+}
+
+/// Admission control: a tiny budget inside a long window rejects the
+/// overflowing request with a typed `ServerBusy` carrying the budget.
+#[test]
+fn admission_control_answers_server_busy() {
+    let g = generators::grid(6, 6);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_millis(300),
+            pending_budget: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Fills the budget exactly; sits in the accumulation window.
+    let filler = QueryRequestFrame {
+        request_id: 1,
+        tenant_id: 9,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(1)); 4],
+    };
+    send_request(&mut stream, &filler);
+    // One more query than the budget has room for: must bounce, and the
+    // reject must come back *before* the window closes (admission is
+    // synchronous, not queued).
+    let overflow = QueryRequestFrame {
+        request_id: 2,
+        tenant_id: 9,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(2), VertexId::new(3))],
+    };
+    send_request(&mut stream, &overflow);
+
+    let busy = read_response(&mut stream);
+    assert_eq!(busy.request_id, 2);
+    assert_eq!(busy.epoch, 0, "rejects never reach an engine");
+    assert_eq!(
+        busy.status,
+        ResponseStatus::ServerBusy {
+            pending: 4,
+            budget: 4,
+        }
+    );
+    // The filler is eventually served once its window closes.
+    let ok = read_response(&mut stream);
+    assert_eq!(ok.request_id, 1);
+    assert!(matches!(&ok.status, ResponseStatus::Ok(a) if a.len() == 4));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejects, 1);
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.tenants.first().map(|t| t.rejects), Some(1));
+}
+
+/// Graceful shutdown drains admitted requests: a request sitting in a
+/// long accumulation window is still answered (on the pinned epoch)
+/// after `shutdown` is called.
+#[test]
+fn shutdown_drains_in_flight_window() {
+    let g = generators::grid(6, 6);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = QueryRequestFrame {
+        request_id: 77,
+        tenant_id: 1,
+        faults: vec![EdgeId::new(3)],
+        queries: vec![(VertexId::new(0), VertexId::new(35))],
+    };
+    send_request(&mut stream, &req);
+    // Let the reader thread admit it into the (minute-long) window.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Shutdown must flush the window instead of waiting out the minute;
+    // bound the whole drain to keep a regression from hanging the suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let drainer = std::thread::spawn(move || {
+        let _ = tx.send(handle.shutdown());
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("shutdown did not drain the in-flight window in time");
+    drainer.join().unwrap();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.queries, 1);
+
+    let resp = read_response(&mut stream);
+    assert_eq!(resp.request_id, 77);
+    assert_eq!(resp.epoch, 1, "drained on the pinned epoch");
+    assert!(matches!(&resp.status, ResponseStatus::Ok(a) if a.len() == 1));
+}
+
+/// A frame that parses but is not a valid wire record closes the
+/// connection (the stream can only contain garbage after a desync).
+#[test]
+fn malformed_frame_closes_connection() {
+    let g = generators::grid(4, 4);
+    let handle = spawn_server(&g, ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&8u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0xDE; 8]).unwrap();
+    stream.flush().unwrap();
+    // The server hangs up: EOF, not a response.
+    let mut buf = [0u8; 16];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    let stats = handle.shutdown();
+    assert_eq!(stats.frame_errors, 1);
+    assert_eq!(stats.requests, 0);
+}
+
+/// An oversized declared length closes the connection before any
+/// allocation or read of the body.
+#[test]
+fn oversized_frame_closes_connection() {
+    let g = generators::grid(4, 4);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            max_frame_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    let stats = handle.shutdown();
+    assert_eq!(stats.frame_errors, 1);
+}
+
+/// Requests naming out-of-range edges or vertices get a typed
+/// `EngineFailed` — isolated to their own fault-set group, never
+/// poisoning co-batched requests.
+#[test]
+fn bad_fault_set_isolated_to_engine_failed() {
+    let g = generators::grid(6, 6);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Same window: one bad group, one good group.
+    let bad = QueryRequestFrame {
+        request_id: 1,
+        tenant_id: 2,
+        faults: vec![EdgeId::new(999_999)],
+        queries: vec![(VertexId::new(0), VertexId::new(1))],
+    };
+    let good = QueryRequestFrame {
+        request_id: 2,
+        tenant_id: 2,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(35))],
+    };
+    send_request(&mut stream, &bad);
+    send_request(&mut stream, &good);
+    let (a, b) = (read_response(&mut stream), read_response(&mut stream));
+    let (bad_resp, good_resp) = if a.request_id == 1 { (a, b) } else { (b, a) };
+    assert_eq!(bad_resp.status, ResponseStatus::EngineFailed);
+    assert!(matches!(&good_resp.status, ResponseStatus::Ok(v) if v.len() == 1));
+    let stats = handle.shutdown();
+    assert_eq!(stats.engine_errors, 1);
+    assert_eq!(stats.requests, 1);
+}

@@ -1,6 +1,6 @@
 //! FT connectivity labels via **linear graph sketches** (Section 3.2,
-//! Theorem 3.7; sketches of Ahn–Guha–McGregor [AGM12], layout following the
-//! sensitivity oracles of Duan–Pettie [DP17]).
+//! Theorem 3.7; sketches of Ahn–Guha–McGregor \[AGM12\], layout following the
+//! sensitivity oracles of Duan–Pettie \[DP17\]).
 //!
 //! Labels have `O(log³ n)` bits *independent of the number of faults*, and —
 //! crucially for routing — the decoder outputs a succinct description of an
@@ -44,6 +44,10 @@
 //! assert!(out.connected);
 //! assert!(out.path.is_some());
 //! ```
+//!
+//! See `README.md` at the repo root for how this scheme compares to the
+//! cycle-space one, and `docs/static-analysis.md` for the determinism
+//! rules (FTL004) its hashing is held to.
 
 #![forbid(unsafe_code)]
 

@@ -25,6 +25,9 @@
 //! tc.validate_coverage(&g, &[]).unwrap();
 //! assert!(tc.max_tree_radius() <= (2 * 3 - 1) * 2);
 //! ```
+//!
+//! See `README.md` at the repo root for how tree covers feed the
+//! distance labels (`ftl-core`) and the routing schemes (`ftl-routing`).
 
 #![forbid(unsafe_code)]
 

@@ -14,5 +14,6 @@ pub use ftl_graph as graph;
 pub use ftl_labels as labels;
 pub use ftl_routing as routing;
 pub use ftl_seeded as seeded;
+pub use ftl_server as server;
 pub use ftl_sketch as sketch;
 pub use ftl_tree_cover as tree_cover;

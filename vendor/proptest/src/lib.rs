@@ -201,7 +201,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Admissible size arguments for [`vec`]: an exact length or a range.
+    /// Admissible size arguments for [`vec()`]: an exact length or a range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,
@@ -235,7 +235,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
