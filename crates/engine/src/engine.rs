@@ -185,18 +185,26 @@ pub struct FaultSetBatch {
     pub queries: Vec<(VertexId, VertexId)>,
 }
 
-/// The outcome of one group of a grouped execute: per-query results in
-/// group order, or the error that failed the group.
-pub type GroupResult = Result<Vec<QueryResult>, EngineError>;
+/// One query's outcome inside a group: its answer, or the error that
+/// failed *that query alone* (e.g. an out-of-range vertex id).
+pub type GroupQueryResult = Result<QueryResult, EngineError>;
+
+/// The outcome of one group of a grouped execute: per-query outcomes in
+/// group order, or the group-level error (an unresolvable fault set, a
+/// contained worker panic) that failed the whole group.
+pub type GroupResult = Result<Vec<GroupQueryResult>, EngineError>;
 
 /// Response to a grouped execute: one [`GroupResult`] per submitted
 /// [`FaultSetBatch`], in submission order.
 ///
-/// Unlike [`Engine::execute`], grouped execution isolates failures per
-/// group: a group whose fault set names a missing edge (or whose worker
-/// panicked) fails alone, and every other group still gets its answers —
-/// the property a multi-tenant front end needs, since one group can mix
-/// queries from many independent connections.
+/// Unlike [`Engine::execute`], grouped execution isolates failures at the
+/// finest granularity the work allows. Per **group**: a group whose fault
+/// set names a missing edge (or whose worker panicked) fails alone, and
+/// every other group still gets its answers. Per **query** within a
+/// group: a query naming an out-of-range vertex fails alone
+/// ([`GroupQueryResult`]), and the group's other queries still get their
+/// answers — the property a multi-tenant front end needs, since one group
+/// can mix queries from many independent connections.
 #[derive(Debug, Clone, Default)]
 pub struct GroupedResponse {
     /// `groups[i]` answers `FaultSetBatch` `i`.
@@ -423,8 +431,12 @@ impl EngineCore {
     }
 
     /// Serves one pre-grouped fault-set batch: resolve the set once,
-    /// answer its queries. The group either fully succeeds or fails as a
-    /// unit; see [`GroupedResponse`] for the isolation contract.
+    /// answer its queries. Only a fault set that fails to resolve fails
+    /// the group as a unit; a query that fails on its own (out-of-range
+    /// vertex) carries its error in its [`GroupQueryResult`] slot without
+    /// touching its neighbors — a group merges queries from many
+    /// independent requests, so one bad vertex id must not poison the
+    /// rest. See [`GroupedResponse`] for the isolation contract.
     pub(crate) fn execute_group(
         &mut self,
         store: &LabelStore,
@@ -435,15 +447,15 @@ impl EngineCore {
         let mut results = Vec::with_capacity(group.queries.len());
         for &(s, t) in &group.queries {
             let q = ConnQuery { s, t, fault_set: 0 };
-            results.push(self.answer(store, &efs, &q)?);
+            results.push(self.answer(store, &efs, &q));
         }
         stats.queries += group.queries.len();
         Ok(results)
     }
 
     /// Serves a slice of pre-grouped batches, isolating failures per
-    /// group. Never fails wholesale: the per-group `Result`s carry the
-    /// errors.
+    /// group (and per query within a group). Never fails wholesale: the
+    /// per-group and per-query `Result`s carry the errors.
     pub(crate) fn execute_grouped(
         &mut self,
         store: &LabelStore,

@@ -43,7 +43,7 @@ pub use batch::{canonical_fault_hash, ConnQuery, EliminatedFaultSet};
 pub use cache::LruCache;
 pub use engine::{
     store_from_cycle_space, BatchRequest, BatchResponse, BatchStats, Engine, EngineConfig,
-    EngineError, FaultSetBatch, GroupResult, GroupedResponse, QueryResult,
+    EngineError, FaultSetBatch, GroupQueryResult, GroupResult, GroupedResponse, QueryResult,
 };
 pub use epoch::{full_store_of, Epoch, EpochStore, LiveStore, SwapPath, SwapReport};
 pub use inject::{

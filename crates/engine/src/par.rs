@@ -264,8 +264,9 @@ impl ParEngine {
     /// cross-worker duplicate eliminations as with per-query chunking).
     ///
     /// Failures are isolated per group: a bad fault set fails only its own
-    /// group, and a worker panic fails only the groups of that worker's
-    /// chunk (the panicked core is rebuilt; the other chunks' answers are
+    /// group, a bad vertex id fails only its own query within the group,
+    /// and a worker panic fails only the groups of that worker's chunk
+    /// (the panicked core is rebuilt; the other chunks' answers are
     /// kept). The call itself never fails — see [`GroupedResponse`].
     pub fn execute_grouped(&mut self, groups: &[FaultSetBatch]) -> GroupedResponse {
         self.refresh_epoch();

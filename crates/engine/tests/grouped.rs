@@ -67,7 +67,8 @@ fn grouped_agrees_with_indexed_execute() {
     let flat: Vec<_> = grouped
         .groups
         .iter()
-        .flat_map(|gr| gr.as_ref().unwrap().iter().cloned())
+        .flat_map(|gr| gr.as_ref().unwrap().iter())
+        .map(|q| q.as_ref().unwrap().clone())
         .collect();
     assert_eq!(flat, indexed.results);
     assert_eq!(grouped.stats.queries, indexed.stats.queries);
@@ -105,6 +106,28 @@ fn grouped_isolates_bad_fault_set_to_its_own_group() {
     let resp = engine.execute_grouped(&groups);
     assert!(resp.groups[0].is_ok());
     assert!(matches!(resp.groups[1], Err(EngineError::Store(_))));
+    assert!(resp.groups[2].is_ok());
+}
+
+/// An out-of-range *vertex* id fails only its own query slot: the other
+/// queries of the same group (which merges many requests in a serving
+/// front end) still get their answers.
+#[test]
+fn grouped_isolates_bad_vertex_to_its_own_query() {
+    let (g, scheme) = scheme();
+    let mut engine = Engine::from_cycle_space(&scheme, EngineConfig::default()).unwrap();
+    let mut groups = groups(&g);
+    groups[0].queries[3] = (VertexId::new(999_999), VertexId::new(0)); // no such vertex
+    let resp = engine.execute_grouped(&groups);
+    let queries = resp.groups[0].as_ref().unwrap();
+    for (i, q) in queries.iter().enumerate() {
+        if i == 3 {
+            assert!(matches!(q, Err(EngineError::Store(_))));
+        } else {
+            assert!(q.is_ok(), "query {i} poisoned by a neighbor's bad vertex");
+        }
+    }
+    assert!(resp.groups[1].is_ok());
     assert!(resp.groups[2].is_ok());
 }
 

@@ -8,9 +8,20 @@
 //! instead of 64.
 //!
 //! Admission control lives here too: `submit` rejects (with the typed
-//! [`SubmitError::Busy`]) once the queued-query total would exceed the
+//! [`SubmitError::Busy`]) once the charged-query total would exceed the
 //! budget, so a flood degrades into fast, explicit `ServerBusy` responses
-//! instead of unbounded memory growth and unbounded latency.
+//! instead of unbounded memory growth and unbounded latency. Two details
+//! make the budget a real bound rather than a suggestion:
+//!
+//! * every request is charged at least one query ([`Batcher::charge`]),
+//!   so a degenerate zero-query request (already rejected at decode, but
+//!   belt and braces here) cannot ride through admission for free while
+//!   still carrying a full fault set's worth of elimination work;
+//! * the charge is released only when the request's window **finishes
+//!   executing** ([`Batcher::release`], called by the executor), not when
+//!   the window is taken — so the budget bounds queued *plus in-flight*
+//!   queries, and N executors cannot stack N extra budgets of admitted
+//!   work behind the one being executed.
 //!
 //! This is the one condvar in the crate (the wrapper in `locked.rs`
 //! covers plain mutation; a window needs *waiting*). Both sides recover
@@ -98,6 +109,12 @@ impl Batcher {
         }
     }
 
+    /// What one request costs against the budget: its query count, with a
+    /// floor of one so no request is ever free to admit.
+    pub fn charge(p: &Pending) -> usize {
+        p.queries.len().max(1)
+    }
+
     /// Queues a request, or rejects it if the budget is full or the
     /// batcher is draining.
     pub fn submit(&self, p: Pending) -> Result<(), SubmitError> {
@@ -105,22 +122,32 @@ impl Batcher {
         if !g.open {
             return Err(SubmitError::ShuttingDown);
         }
-        if g.pending_queries + p.queries.len() > self.budget {
+        if g.pending_queries + Batcher::charge(&p) > self.budget {
             return Err(SubmitError::Busy {
                 pending: g.pending_queries as u32,
                 budget: self.budget as u32,
             });
         }
-        g.pending_queries += p.queries.len();
+        g.pending_queries += Batcher::charge(&p);
         g.pending.push(p);
         drop(g);
         self.cv.notify_all();
         Ok(())
     }
 
-    /// Queries currently queued (for observability and tests).
+    /// Queries charged against the budget — queued plus in-flight (for
+    /// observability and tests).
     pub fn pending_queries(&self) -> usize {
         self.locked().pending_queries
+    }
+
+    /// Returns a finished window's charge to the budget. Called by the
+    /// executor after [`next_window`](Batcher::next_window)'s window has
+    /// fully executed (responses written), so the budget keeps covering
+    /// in-flight work, not just the not-yet-taken queue.
+    pub fn release(&self, charge: usize) {
+        let mut g = self.locked();
+        g.pending_queries = g.pending_queries.saturating_sub(charge);
     }
 
     /// Blocks until work exists, lets the accumulation window elapse, and
@@ -159,7 +186,9 @@ impl Batcher {
                 };
             }
         }
-        g.pending_queries = 0;
+        // The taken window's charge stays on the budget until the executor
+        // calls `release` after executing it — admission control bounds
+        // in-flight work too, not just the queue.
         Some(std::mem::take(&mut g.pending))
     }
 
@@ -200,10 +229,36 @@ mod tests {
                 budget: 10,
             })
         );
-        // Taking the window frees the budget.
+        // Taking the window does NOT free the budget — the work is now
+        // in flight, and the budget bounds that too.
         let w = b.next_window().unwrap();
         assert_eq!(w.len(), 2);
+        assert_eq!(b.pending_queries(), 10);
+        assert!(matches!(
+            b.submit(pending(10)),
+            Err(SubmitError::Busy { .. })
+        ));
+        // Releasing the executed window's charge does.
+        b.release(w.iter().map(Batcher::charge).sum());
+        assert_eq!(b.pending_queries(), 0);
         b.submit(pending(10)).unwrap();
+    }
+
+    #[test]
+    fn zero_query_request_still_charged() {
+        // Decode already rejects zero-query requests; the batcher floors
+        // the charge at 1 anyway so nothing is ever free to admit.
+        let b = Batcher::new(2, Duration::ZERO);
+        b.submit(pending(0)).unwrap();
+        b.submit(pending(0)).unwrap();
+        assert_eq!(b.pending_queries(), 2);
+        assert!(matches!(
+            b.submit(pending(0)),
+            Err(SubmitError::Busy {
+                pending: 2,
+                budget: 2,
+            })
+        ));
     }
 
     #[test]

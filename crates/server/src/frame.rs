@@ -156,9 +156,12 @@ pub struct QueryRequestFrame {
     pub request_id: u64,
     /// Accounting principal for per-tenant stats.
     pub tenant_id: u32,
-    /// The fault set `F`, as edge ids.
+    /// The fault set `F`, as edge ids (may be empty: fault-free
+    /// connectivity).
     pub faults: Vec<EdgeId>,
-    /// Connectivity queries `(s, t)` under `G \ F`.
+    /// Connectivity queries `(s, t)` under `G \ F`. Must be non-empty on
+    /// the wire: the decoder rejects zero-query requests as malformed, so
+    /// admission control always has something to charge.
     pub queries: Vec<(VertexId, VertexId)>,
 }
 
@@ -194,6 +197,13 @@ impl WireLabel for QueryRequestFrame {
             faults.push(EdgeId::new(r.read_word(32)? as usize));
         }
         let num_queries = r.read_word(32)? as usize;
+        if num_queries == 0 {
+            // A request that asks nothing has no well-defined response and
+            // would otherwise ride through admission control for free
+            // while still carrying up to MAX_FAULTS_PER_REQUEST faults
+            // (a full elimination's worth of work): malformed.
+            return Err(WireError::Malformed("request carries no queries"));
+        }
         if num_queries > MAX_QUERIES_PER_REQUEST {
             return Err(WireError::Malformed("query count over limit"));
         }
@@ -363,6 +373,23 @@ mod tests {
         assert_eq!(
             QueryRequestFrame::from_wire(&bytes),
             Err(WireError::Malformed("fault count over limit"))
+        );
+    }
+
+    #[test]
+    fn zero_query_request_rejected_as_malformed() {
+        // Zero queries would be admitted for free (nothing to charge the
+        // pending budget) while still costing an elimination per distinct
+        // fault set — the decoder refuses the shape outright.
+        let zero = QueryRequestFrame {
+            request_id: 1,
+            tenant_id: 0,
+            faults: vec![EdgeId::new(2)],
+            queries: Vec::new(),
+        };
+        assert_eq!(
+            QueryRequestFrame::from_wire(&zero.to_wire()),
+            Err(WireError::Malformed("request carries no queries"))
         );
     }
 

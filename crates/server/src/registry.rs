@@ -15,9 +15,10 @@
 use crate::frame::write_frame;
 use crate::locked::Slot;
 use ftl_seeded::DetHashMap;
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const SHARDS: usize = 16;
 
@@ -30,8 +31,23 @@ pub struct ConnWriter {
 impl ConnWriter {
     /// Writes one length-prefixed frame; concurrent senders serialize on
     /// the slot so frames never interleave.
+    ///
+    /// The write half carries the registration's write timeout, so a
+    /// client that stopped reading its responses makes this return a
+    /// timeout error instead of blocking the calling executor forever.
+    /// A timed-out write may have sent a partial frame — the stream is
+    /// unrecoverable afterwards and the caller must drop the connection.
     pub fn send(&self, record: &[u8]) -> std::io::Result<()> {
         self.stream.with(|s| write_frame(s, record))
+    }
+
+    /// Shuts both halves of the socket down (best effort), so the
+    /// connection's reader thread observes EOF and exits even though it
+    /// holds its own clone of the stream.
+    pub fn shutdown(&self) {
+        self.stream.with(|s| {
+            let _ = s.shutdown(Shutdown::Both);
+        });
     }
 }
 
@@ -62,11 +78,20 @@ impl Registry {
     }
 
     /// Registers a connection's write half, returning its id and writer
-    /// handle.
-    pub fn register(&self, stream: &TcpStream) -> std::io::Result<(u64, Arc<ConnWriter>)> {
+    /// handle. `write_timeout` bounds every [`ConnWriter::send`] on this
+    /// connection (`None` = block indefinitely — test-only; the server
+    /// always passes a bound so a stalled reader cannot park an
+    /// executor).
+    pub fn register(
+        &self,
+        stream: &TcpStream,
+        write_timeout: Option<Duration>,
+    ) -> std::io::Result<(u64, Arc<ConnWriter>)> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let write_half = stream.try_clone()?;
+        write_half.set_write_timeout(write_timeout)?;
         let writer = Arc::new(ConnWriter {
-            stream: Slot::new(stream.try_clone()?),
+            stream: Slot::new(write_half),
         });
         if let Some(shard) = self.shard(id) {
             shard.with(|m| m.insert(id, Arc::clone(&writer)));

@@ -20,7 +20,11 @@
 //! The acceptor polls a nonblocking listener so it can observe the stop
 //! flag; readers use a short read timeout for the same reason (the frame
 //! codec keeps partial fills across timeouts, so this never corrupts a
-//! stream). Shutdown is graceful by construction: stop flag → acceptor
+//! stream). Response writes are bounded the same way: every registered
+//! write half carries [`ServerConfig::write_timeout`], and a write that
+//! times out (a client that stopped reading its responses) drops that
+//! connection — deregistered, socket shut down — instead of parking the
+//! executor. Shutdown is graceful by construction: stop flag → acceptor
 //! joins every reader (no further submissions) → batcher closes →
 //! executors drain every queued window on the epoch each window pins →
 //! handle joins the executors.
@@ -66,6 +70,13 @@ pub struct ServerConfig {
     /// Socket read timeout — the granularity at which an idle reader
     /// notices shutdown.
     pub read_timeout: Duration,
+    /// Bound on any single response write. A client that stops reading
+    /// its responses fills its TCP window; past this bound the write
+    /// errors out and the connection is dropped (deregistered, socket
+    /// shut down), so a stalled reader costs its own connection — never
+    /// an executor thread, never co-batched connections, never shutdown.
+    /// Zero disables the bound (not recommended outside tests).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +88,7 @@ impl Default for ServerConfig {
             pending_budget: 1 << 16,
             max_frame_bytes: MAX_FRAME_BYTES_DEFAULT,
             read_timeout: Duration::from_millis(5),
+            write_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -149,6 +161,9 @@ impl Server {
                     let mut engine = ExecEngine::new(epochs, engine_config, workers);
                     while let Some(window) = batcher.next_window() {
                         execute_window(&mut engine, &window, &registry, &stats);
+                        // Only now — responses written — does the window
+                        // stop counting against the admission budget.
+                        batcher.release(window.iter().map(Batcher::charge).sum());
                     }
                 })?;
             executors.push(handle);
@@ -225,6 +240,10 @@ fn accept_loop(
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
+        // Sweep handles of readers that already exited, so a long-lived
+        // server holds one handle per *live* connection, not one per
+        // connection ever accepted.
+        readers.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _)) => {
                 stats.record_connection();
@@ -268,7 +287,8 @@ fn serve_connection(
     if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
         return;
     }
-    let Ok((conn, writer)) = registry.register(&stream) else {
+    let write_timeout = (!config.write_timeout.is_zero()).then_some(config.write_timeout);
+    let Ok((conn, writer)) = registry.register(&stream, write_timeout) else {
         return;
     };
     // On shutdown (stop flag) the connection stays registered: executors
@@ -375,12 +395,20 @@ fn execute_window(
                     let n = p.queries.len();
                     let slice = answers.get(cursor..cursor + n);
                     cursor += n;
+                    // Per-query isolation: a request fails alone if any of
+                    // *its own* queries errored (out-of-range vertex id);
+                    // co-batched requests sharing the fault set keep their
+                    // answers.
                     let status = match slice {
-                        Some(rs) => ResponseStatus::Ok(rs.iter().map(|r| r.connected).collect()),
-                        None => ResponseStatus::EngineFailed,
+                        Some(rs) if rs.iter().all(|r| r.is_ok()) => ResponseStatus::Ok(
+                            rs.iter()
+                                .map(|r| r.as_ref().is_ok_and(|q| q.connected))
+                                .collect(),
+                        ),
+                        _ => ResponseStatus::EngineFailed,
                     };
                     let ok_queries = matches!(status, ResponseStatus::Ok(_)).then_some(n);
-                    respond(registry, p, epoch, status);
+                    respond(registry, p, epoch, status, stats);
                     match ok_queries {
                         Some(n) => {
                             stats.record_ok(p.tenant, n, p.enqueued.elapsed().as_nanos() as u64)
@@ -393,7 +421,7 @@ fn execute_window(
                 for &wi in member_idxs {
                     let Some(p) = window.get(wi) else { continue };
                     stats.record_engine_error();
-                    respond(registry, p, epoch, ResponseStatus::EngineFailed);
+                    respond(registry, p, epoch, ResponseStatus::EngineFailed, stats);
                 }
             }
         }
@@ -414,14 +442,27 @@ fn fresh_group(
 }
 
 /// Writes one response; a vanished connection (already deregistered)
-/// or a dead socket just drops the frame — the client is gone.
-fn respond(registry: &Registry, p: &Pending, epoch: u64, status: ResponseStatus) {
+/// just drops the frame — the client is gone.
+///
+/// A *failed* write forfeits the connection: the write half carries
+/// [`ServerConfig::write_timeout`], so a client that stopped reading its
+/// responses (full TCP window) surfaces here as a timeout after at most
+/// that bound, and a timed-out write may have left a partial frame on the
+/// stream. The connection is deregistered — responses still queued for it
+/// in this or other executors' windows are dropped instantly instead of
+/// each eating another timeout — and the socket is shut down so the
+/// reader thread exits too.
+fn respond(registry: &Registry, p: &Pending, epoch: u64, status: ResponseStatus, stats: &ServerStats) {
     let frame = QueryResponseFrame {
         request_id: p.request_id,
         epoch,
         status,
     };
     if let Some(writer) = registry.get(p.conn) {
-        let _ = writer.send(&frame.to_wire());
+        if writer.send(&frame.to_wire()).is_err() {
+            stats.record_slow_drop();
+            registry.deregister(p.conn);
+            writer.shutdown();
+        }
     }
 }

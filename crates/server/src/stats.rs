@@ -61,6 +61,11 @@ pub struct StatsSnapshot {
     /// Connections dropped for protocol violations (bad magic, oversize
     /// frame, truncation, malformed payload).
     pub frame_errors: u64,
+    /// Connections dropped because a response write failed — in practice
+    /// a write timeout against a client that stopped reading its
+    /// responses (counts drop *events*; concurrent executors may record
+    /// more than one for the same connection).
+    pub slow_client_drops: u64,
     /// Connections accepted over the server's lifetime.
     pub connections_accepted: u64,
     /// Per-tenant breakdown, sorted by tenant id.
@@ -77,6 +82,7 @@ pub struct ServerStats {
     rejects: AtomicU64,
     engine_errors: AtomicU64,
     frame_errors: AtomicU64,
+    slow_client_drops: AtomicU64,
     connections_accepted: AtomicU64,
     tenants: Slot<DetHashMap<u32, TenantCounters>>,
 }
@@ -125,6 +131,12 @@ impl ServerStats {
         self.frame_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection dropped because a response write failed
+    /// (write timeout against a stalled reader).
+    pub fn record_slow_drop(&self) {
+        self.slow_client_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records an accepted connection.
     pub fn record_connection(&self) {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
@@ -157,6 +169,7 @@ impl ServerStats {
             rejects: self.rejects.load(Ordering::Relaxed),
             engine_errors: self.engine_errors.load(Ordering::Relaxed),
             frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            slow_client_drops: self.slow_client_drops.load(Ordering::Relaxed),
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             tenants,
         }

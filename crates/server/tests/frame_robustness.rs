@@ -32,16 +32,30 @@ fn request(
 }
 
 proptest! {
-    /// Requests of any shape round-trip exactly.
+    /// Requests of any valid shape (at least one query) round-trip
+    /// exactly.
     #[test]
     fn request_roundtrip(
         request_id in any::<u64>(),
         tenant in any::<u32>(),
         faults in proptest::collection::vec(any::<u32>(), 0..40),
-        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40),
     ) {
         let r = request(request_id, tenant, &faults, &queries);
         prop_assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    /// Zero-query requests are malformed whatever else they carry — a
+    /// flood of them cannot slip past admission control (which charges by
+    /// query count) while still paying for fault-set eliminations.
+    #[test]
+    fn zero_query_request_always_rejected(
+        request_id in any::<u64>(),
+        tenant in any::<u32>(),
+        faults in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let r = request(request_id, tenant, &faults, &[]);
+        prop_assert!(QueryRequestFrame::from_wire(&r.to_wire()).is_err());
     }
 
     /// Responses of every status round-trip exactly.

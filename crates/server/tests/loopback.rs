@@ -245,6 +245,153 @@ fn oversized_frame_closes_connection() {
     assert_eq!(stats.frame_errors, 1);
 }
 
+/// A request whose *vertex* id is out of range fails alone even when it
+/// shares its fault-set group with healthy requests: groups merge
+/// queries from many connections, so per-query isolation inside the
+/// group is what keeps one tenant's typo from failing everyone else's
+/// co-batched answers.
+#[test]
+fn bad_vertex_isolated_within_shared_fault_set_group() {
+    let g = generators::grid(6, 6);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Same fault set — the popular, shared kind (here: one real edge) —
+    // so both requests land in ONE group of one window.
+    let bad = QueryRequestFrame {
+        request_id: 1,
+        tenant_id: 3,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(999_999), VertexId::new(1))],
+    };
+    let good = QueryRequestFrame {
+        request_id: 2,
+        tenant_id: 4,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(35))],
+    };
+    send_request(&mut stream, &bad);
+    send_request(&mut stream, &good);
+    let (a, b) = (read_response(&mut stream), read_response(&mut stream));
+    let (bad_resp, good_resp) = if a.request_id == 1 { (a, b) } else { (b, a) };
+    assert_eq!(bad_resp.status, ResponseStatus::EngineFailed);
+    assert!(
+        matches!(&good_resp.status, ResponseStatus::Ok(v) if v.len() == 1),
+        "healthy request poisoned by a co-batched bad vertex id: {:?}",
+        good_resp.status
+    );
+    let stats = handle.shutdown();
+    // One window, one merged group: the isolation really happened inside
+    // a shared group, not across two separate ones.
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.groups, 1);
+    assert_eq!(stats.engine_errors, 1);
+    assert_eq!(stats.requests, 1);
+}
+
+/// Response writes are bounded: a registered writer whose peer never
+/// reads must surface an error after the write timeout, not block its
+/// calling thread indefinitely.
+#[test]
+fn stalled_reader_write_times_out_instead_of_blocking() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let _stalled_peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+    let (server_side, _) = listener.accept().unwrap();
+    let registry = ftl_server::registry::Registry::new();
+    let (_, writer) = registry
+        .register(&server_side, Some(Duration::from_millis(50)))
+        .unwrap();
+    // 64 KiB frames overwhelm any sane socket buffering within a few
+    // hundred sends; the peer reads nothing, so an error MUST arrive.
+    let record = vec![0xA5u8; 1 << 16];
+    let mut timed_out = false;
+    for _ in 0..10_000 {
+        if writer.send(&record).is_err() {
+            timed_out = true;
+            break;
+        }
+    }
+    assert!(
+        timed_out,
+        "writes to a stalled reader never errored — an executor would block forever"
+    );
+}
+
+/// A client that stops reading its responses is dropped after the write
+/// timeout and costs only its own connection: other connections keep
+/// being served, and shutdown still drains in bounded time.
+#[test]
+fn stalled_reader_costs_only_its_own_connection() {
+    let g = generators::grid(8, 8);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 2,
+            engine_workers: 0,
+            window: Duration::from_micros(500),
+            pending_budget: 1 << 12,
+            write_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    );
+
+    // The stalled client floods single-query requests and never reads a
+    // byte back. Its responses fill its TCP window; past the write
+    // timeout the server drops the connection, which eventually fails
+    // these sends (reset socket) — capped so the test terminates even if
+    // kernel buffering absorbs everything.
+    let mut stalled = TcpStream::connect(handle.local_addr()).unwrap();
+    let flood = QueryRequestFrame {
+        request_id: 0,
+        tenant_id: 1,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(1))],
+    };
+    let record = flood.to_wire();
+    for _ in 0..400_000 {
+        if frame::write_frame(&mut stalled, &record).is_err() {
+            break;
+        }
+    }
+
+    // A well-behaved client on another connection is served normally
+    // while (and after) the stalled one chokes.
+    let mut live = TcpStream::connect(handle.local_addr()).unwrap();
+    live.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let good = QueryRequestFrame {
+        request_id: 7,
+        tenant_id: 2,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(63))],
+    };
+    send_request(&mut live, &good);
+    let resp = read_response(&mut live);
+    assert_eq!(resp.request_id, 7);
+    assert!(matches!(&resp.status, ResponseStatus::Ok(a) if a.len() == 1));
+
+    // Shutdown must drain in bounded time despite the stalled backlog —
+    // every write to the dropped connection is skipped or bounded.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let drainer = std::thread::spawn(move || {
+        let _ = tx.send(handle.shutdown());
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("shutdown blocked behind a stalled reader");
+    drainer.join().unwrap();
+    assert!(stats.requests >= 1, "the live client's request was served");
+}
+
 /// Requests naming out-of-range edges or vertices get a typed
 /// `EngineFailed` — isolated to their own fault-set group, never
 /// poisoning co-batched requests.
