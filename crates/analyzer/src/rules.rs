@@ -3,8 +3,8 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | FTL001 | functions annotated `// ftl-analyzer: hot-path`, and every workspace function they transitively call, perform no heap allocation (`Vec::new`, `vec!`, `to_vec`, `collect`, `.clone()`, `Box::new`, `format!`, `String::from`) |
-//! | FTL002 | `ftl-engine` holds no lock on the read path (`Mutex`/`RwLock`/`.lock()`/`.read()`/`.write()`) — only `epoch.rs`'s annotated writer side may; `ftl-server` locking (`Mutex`/`RwLock`/`.lock()`) is confined to its annotated `Slot` wrapper and batcher |
-//! | FTL003 | `ftl-engine`/`ftl-labels`/`ftl-server` non-test code never panics (`unwrap`/`expect`/`panic!`/`unreachable!`/slice-index-without-get) |
+//! | FTL002 | `ftl-engine` holds no lock on the read path (`Mutex`/`RwLock`/`.lock()`/`.read()`/`.write()`) — only `epoch.rs`'s annotated writer side may; `ftl-server` locking (`Mutex`/`RwLock`/`.lock()`) is confined to its annotated `Slot` wrapper and batcher; `ftl-obs` is lock-free outright (atomics only, wide trigger set, no blessed side) |
+//! | FTL003 | `ftl-engine`/`ftl-labels`/`ftl-server`/`ftl-obs` non-test code never panics (`unwrap`/`expect`/`panic!`/`unreachable!`/slice-index-without-get) |
 //! | FTL004 | label/store code hashes deterministically (no default-hasher `HashMap`/`HashSet`/`RandomState`; use `ftl_seeded::DetHashMap`) |
 //!
 //! Every check runs on lexed tokens (never raw text) and honors
@@ -81,6 +81,10 @@ pub fn explain(rule: RuleId) -> &'static str {
              wrapper in locked.rs, the batcher's window mutex/condvar, and\n\
              the per-connection writer slots, all annotated.\n\
              \n\
+             ftl-obs gets the engine's wide trigger set with *no* blessed\n\
+             side: the metrics record path is relaxed atomics only, so any\n\
+             lock mention in crates/obs is a finding.\n\
+             \n\
              The blessed exemptions carry\n\
              `// ftl-analyzer: allow(lock-free) why` — today that is the\n\
              EpochStore publication slot in crates/engine/src/epoch.rs plus\n\
@@ -89,7 +93,8 @@ pub fn explain(rule: RuleId) -> &'static str {
         RuleId::PanicFree => {
             "FTL003 · panic-free serving\n\
              \n\
-             Non-test code in ftl-engine, ftl-labels, and ftl-server must not\n\
+             Non-test code in ftl-engine, ftl-labels, ftl-server, and\n\
+             ftl-obs must not\n\
              call .unwrap() or .expect(), must not invoke panic! or\n\
              unreachable!, and is\n\
              flagged for slice indexing (`x[i]`, `x[a..b]`) which panics out of\n\
@@ -108,7 +113,7 @@ pub fn explain(rule: RuleId) -> &'static str {
             "FTL004 · deterministic hashing\n\
              \n\
              Label/store code (ftl-labels, ftl-cycle-space, ftl-sketch,\n\
-             ftl-server, and the\n\
+             ftl-server, ftl-obs, and the\n\
              engine's store.rs/cache.rs) must not use std's default-hasher\n\
              HashMap/HashSet (RandomState is keyed per process, so iteration\n\
              order — and anything derived from it, like sidecar placement or\n\
@@ -314,12 +319,15 @@ fn rule_lock_free(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     let scoped = files
         .iter()
-        .filter(|f| f.crate_name == "engine" || f.crate_name == "server");
+        .filter(|f| matches!(f.crate_name.as_str(), "engine" | "server" | "obs"));
     for f in scoped {
-        // `.read()`/`.write()` only count inside the engine: in ftl-server
-        // those are socket I/O (`Read`/`Write` trait calls), not lock
-        // acquisition, so only `Mutex`/`RwLock` and `.lock()` fire there.
-        let engine = f.crate_name == "engine";
+        // `.read()`/`.write()` only count inside the engine and ftl-obs:
+        // in ftl-server those are socket I/O (`Read`/`Write` trait
+        // calls), not lock acquisition, so only `Mutex`/`RwLock` and
+        // `.lock()` fire there. ftl-obs gets the wide trigger set — the
+        // metrics record path is atomics-only by contract, with no
+        // blessed writer side at all.
+        let engine = matches!(f.crate_name.as_str(), "engine" | "obs");
         for (k, t) in f.tokens.iter().enumerate() {
             let Some(name) = t.ident() else { continue };
             if f.in_test_region(t.line) || f.is_allowed(RuleId::LockFree, t.line) {
@@ -337,16 +345,19 @@ fn rule_lock_free(files: &[SourceFile]) -> Vec<Finding> {
                 _ => None,
             };
             if let Some(what) = hit {
-                let message = if engine {
-                    format!(
+                let message = match f.crate_name.as_str() {
+                    "engine" => format!(
                         "{what} on the engine read path — only epoch.rs's annotated \
                          writer side may hold a lock"
-                    )
-                } else {
-                    format!(
+                    ),
+                    "obs" => format!(
+                        "{what} in ftl-obs — the metrics record path is atomics-only, \
+                         with no blessed locking anywhere in the crate"
+                    ),
+                    _ => format!(
                         "{what} in ftl-server outside the annotated `Slot` wrapper — \
                          concentrate locking in locked.rs and the batcher window"
-                    )
+                    ),
                 };
                 out.push(Finding {
                     rule: RuleId::LockFree,
@@ -365,7 +376,10 @@ fn rule_lock_free(files: &[SourceFile]) -> Vec<Finding> {
 fn rule_panic_free(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     let scoped = files.iter().filter(|f| {
-        f.crate_name == "engine" || f.crate_name == "labels" || f.crate_name == "server"
+        matches!(
+            f.crate_name.as_str(),
+            "engine" | "labels" | "server" | "obs"
+        )
     });
     for f in scoped {
         for (k, t) in f.tokens.iter().enumerate() {
@@ -422,11 +436,12 @@ fn rule_panic_free(files: &[SourceFile]) -> Vec<Finding> {
 // ---------------------------------------------------------------- FTL004
 
 /// Whether FTL004 (deterministic hashing) covers this file: all label
-/// crates, the server (per-tenant stats keyed by id), plus the engine's
-/// store and cache.
+/// crates, the server (per-tenant stats keyed by id), the obs registry
+/// (a stray map there would sit under the same serving path), plus the
+/// engine's store and cache.
 fn det_hash_scope(f: &SourceFile) -> bool {
     match f.crate_name.as_str() {
-        "labels" | "cycle-space" | "sketch" | "server" => true,
+        "labels" | "cycle-space" | "sketch" | "server" | "obs" => true,
         "engine" => f.path.ends_with("store.rs") || f.path.ends_with("cache.rs"),
         _ => false,
     }

@@ -238,6 +238,64 @@ fn ftl004_fires_on_default_hasher_maps_and_honors_allow() {
 }
 
 #[test]
+fn obs_scope_gets_wide_lock_triggers_and_panic_and_hash_rules() {
+    let findings = fixture_findings();
+    let use_lock = line_of("crates/obs/src/registry.rs", "use std::sync::RwLock");
+    let read_line = line_of("crates/obs/src/registry.rs", "slot.read().unwrap()");
+    let index_line = line_of("crates/obs/src/registry.rs", "counts[i]");
+    let use_map = line_of(
+        "crates/obs/src/registry.rs",
+        "use std::collections::HashMap",
+    );
+    // FTL002 with the engine's wide trigger set: both the `RwLock`
+    // mention and the `.read()` call fire (in ftl-server `.read()` would
+    // be socket I/O and stay silent).
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "obs/src/registry.rs",
+        use_lock
+    ));
+    assert!(
+        has(
+            &findings,
+            RuleId::LockFree,
+            "obs/src/registry.rs",
+            read_line
+        ),
+        "`.read()` fires in ftl-obs — wide triggers, no blessed side"
+    );
+    let lock_msg = findings
+        .iter()
+        .find(|f| f.rule == RuleId::LockFree && f.file.contains("obs/src/registry.rs"))
+        .unwrap();
+    assert!(
+        lock_msg.message.contains("atomics-only"),
+        "{}",
+        lock_msg.message
+    );
+    // FTL003 and FTL004 cover the crate like the other serving crates.
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "obs/src/registry.rs",
+        read_line
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "obs/src/registry.rs",
+        index_line
+    ));
+    assert!(has(
+        &findings,
+        RuleId::DetHash,
+        "obs/src/registry.rs",
+        use_map
+    ));
+}
+
+#[test]
 fn annotation_errors_fire_and_cannot_be_baselined() {
     let findings = fixture_findings();
     let typo = line_of("crates/engine/src/typo.rs", "allow(hot-allok)");

@@ -272,6 +272,7 @@ impl EngineCore {
                 return Ok(anc);
             }
         }
+        ftl_obs::global().engine.sidecar_fallbacks.inc();
         // ftl-analyzer: allow(hot-alloc) wire fallback only for records the sidecar could not place
         Ok(store.vertex_label::<CycleSpaceVertexLabel>(v)?.anc)
     }
@@ -321,6 +322,9 @@ impl EngineCore {
             }
         }
         let ids = self.ids_scratch.clone();
+        // Time the elimination itself (cold path: cache hits returned
+        // above) into the process-wide Elimination stage histogram.
+        let eliminate_t0 = std::time::Instant::now();
         let efs = if self.config.use_sidecar && store.sidecar().covers_edges(&ids) {
             EliminatedFaultSet::eliminate_from_sidecar(ids, store.sidecar())?
         } else {
@@ -330,6 +334,10 @@ impl EngineCore {
                 .collect::<Result<_, _>>()?;
             EliminatedFaultSet::eliminate(ids, labels)
         };
+        ftl_obs::global().stages.record(
+            ftl_obs::Stage::Elimination,
+            eliminate_t0.elapsed().as_nanos() as u64,
+        );
         let efs = Arc::new(efs);
         stats.eliminations += 1;
         self.cache.insert(hash, (uid, Arc::clone(&efs)));
@@ -676,6 +684,7 @@ impl Engine {
         if let Some(epochs) = &self.epochs {
             let current = epochs.current();
             self.epoch = current.number();
+            ftl_obs::global().epoch.pinned.set(self.epoch);
             if !Arc::ptr_eq(&self.store, current.store()) {
                 self.store = Arc::clone(current.store());
             }
@@ -744,6 +753,7 @@ impl Engine {
         self.refresh_epoch();
         let mut resp = self.core.execute(&self.store, req)?;
         resp.stats.epoch = self.epoch;
+        record_obs_batch(&resp.stats);
         Ok(resp)
     }
 
@@ -768,6 +778,7 @@ impl Engine {
         self.refresh_epoch();
         self.core.execute_into(&self.store, req, out)?;
         out.stats.epoch = self.epoch;
+        record_obs_batch(&out.stats);
         Ok(())
     }
 
@@ -781,6 +792,7 @@ impl Engine {
         self.refresh_epoch();
         let mut resp = self.core.execute_grouped(&self.store, groups);
         resp.stats.epoch = self.epoch;
+        record_obs_batch(&resp.stats);
         resp
     }
 
@@ -795,8 +807,22 @@ impl Engine {
         self.refresh_epoch();
         let mut resp = self.core.execute_naive(&self.store, req)?;
         resp.stats.epoch = self.epoch;
+        record_obs_batch(&resp.stats);
         Ok(resp)
     }
+}
+
+/// Folds one batch's counters into the process-wide engine metrics —
+/// three relaxed atomic adds per *batch* (not per query), off the
+/// per-query hot loop.
+// ftl-analyzer: hot-path
+#[inline]
+pub(crate) fn record_obs_batch(stats: &BatchStats) {
+    ftl_obs::global().engine.record_batch(
+        stats.queries as u64,
+        stats.eliminations as u64,
+        stats.cache_hits as u64,
+    );
 }
 
 /// Wire-encodes every label of a cycle-space scheme into a frozen store

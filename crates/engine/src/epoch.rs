@@ -109,6 +109,7 @@ impl EpochStore {
     /// Wraps an initial store as epoch 1.
     #[allow(clippy::disallowed_types)]
     pub fn new(store: Arc<LabelStore>) -> Self {
+        ftl_obs::global().epoch.published.set(1);
         EpochStore {
             // ftl-analyzer: allow(lock-free) writer-side construction of the publication slot
             current: RwLock::new(Arc::new(Epoch { number: 1, store })),
@@ -132,6 +133,7 @@ impl EpochStore {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let number = slot.number + 1;
         *slot = Arc::new(Epoch { number, store });
+        ftl_obs::global().epoch.published.set(number);
         number
     }
 }
@@ -300,11 +302,13 @@ impl LiveStore {
         self.live.take_delta();
         let store = Arc::new(full_store_of(&self.live, &self.config)?);
         let epoch = self.epochs.publish(store);
-        Ok(SwapReport {
+        let report = SwapReport {
             epoch,
             path: SwapPath::FullRebuild,
             elapsed_ns: t0.elapsed().as_nanos() as u64,
-        })
+        };
+        record_obs_swap(&report);
+        Ok(report)
     }
 
     /// Measures (without publishing or mutating anything observable) what
@@ -364,11 +368,25 @@ impl LiveStore {
             (prev.store().delta_freeze(&upserts, &removals)?, path)
         };
         let epoch = self.epochs.publish(Arc::new(store));
-        Ok(SwapReport {
+        let report = SwapReport {
             epoch,
             path,
             elapsed_ns: t0.elapsed().as_nanos() as u64,
-        })
+        };
+        record_obs_swap(&report);
+        Ok(report)
+    }
+}
+
+/// Folds one *published* swap into the process-wide epoch metrics (no-op
+/// publishes — an empty delta — never reach this). Cold path: a swap is
+/// a whole-store event, not a per-query one.
+fn record_obs_swap(report: &SwapReport) {
+    let epoch = &ftl_obs::global().epoch;
+    epoch.swap_ns.record(report.elapsed_ns);
+    match report.path {
+        SwapPath::Delta { .. } => epoch.delta_swaps.inc(),
+        SwapPath::FullRebuild => epoch.full_rebuilds.inc(),
     }
 }
 

@@ -115,6 +115,7 @@ impl ParEngine {
         if let Some(epochs) = &self.epochs {
             let current = epochs.current();
             self.epoch = current.number();
+            ftl_obs::global().epoch.pinned.set(self.epoch);
             if !Arc::ptr_eq(&self.store, current.store()) {
                 self.store = Arc::clone(current.store());
             }
@@ -251,6 +252,7 @@ impl ParEngine {
             agg.cache_hits += stats.cache_hits;
             merged.extend(results);
         }
+        crate::engine::record_obs_batch(&agg);
         Ok(BatchResponse {
             results: merged,
             stats: agg,
@@ -322,6 +324,7 @@ impl ParEngine {
                 }
             }
         }
+        crate::engine::record_obs_batch(&agg);
         GroupedResponse {
             groups: merged,
             stats: agg,

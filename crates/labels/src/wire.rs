@@ -53,6 +53,13 @@ pub enum LabelKind {
     QueryRequest = 0x40,
     /// A serving-envelope response frame (`ftl-server`).
     QueryResponse = 0x41,
+    /// An admin-envelope metrics scrape request (`ftl-server`; see
+    /// `docs/observability.md`). Answered out of band — it never enters
+    /// the batching pipeline.
+    MetricsRequest = 0x50,
+    /// An admin-envelope metrics scrape response: a Prometheus-style
+    /// text exposition.
+    MetricsResponse = 0x51,
 }
 
 impl LabelKind {
@@ -67,6 +74,8 @@ impl LabelKind {
             0x30 => Some(LabelKind::Route),
             0x40 => Some(LabelKind::QueryRequest),
             0x41 => Some(LabelKind::QueryResponse),
+            0x50 => Some(LabelKind::MetricsRequest),
+            0x51 => Some(LabelKind::MetricsResponse),
             _ => None,
         }
     }
@@ -498,13 +507,19 @@ mod tests {
 
     #[test]
     fn envelope_kinds_roundtrip_through_from_u8() {
-        for kind in [LabelKind::QueryRequest, LabelKind::QueryResponse] {
+        for kind in [
+            LabelKind::QueryRequest,
+            LabelKind::QueryResponse,
+            LabelKind::MetricsRequest,
+            LabelKind::MetricsResponse,
+        ] {
             assert_eq!(LabelKind::from_u8(kind as u8), Some(kind));
         }
-        // The gap between the label kinds and the envelope kinds stays
+        // The gaps between the label kinds and the envelope kinds stay
         // unassigned.
         assert_eq!(LabelKind::from_u8(0x31), None);
         assert_eq!(LabelKind::from_u8(0x42), None);
+        assert_eq!(LabelKind::from_u8(0x52), None);
     }
 
     #[test]

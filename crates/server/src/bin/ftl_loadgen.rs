@@ -11,7 +11,10 @@
 //!             --clients 64 --requests 32 --queries 16 --fault-sets 8
 //! ```
 
-use ftl_server::{derive_fault_sets, parse_graph_spec, run_loadgen, LoadgenConfig};
+use ftl_server::{
+    derive_fault_sets, parse_graph_spec, parse_stage_table, run_loadgen, scrape_metrics,
+    LoadgenConfig,
+};
 use std::net::ToSocketAddrs;
 
 struct Args {
@@ -24,6 +27,7 @@ struct Args {
     requests: usize,
     queries: usize,
     loadgen_seed: u64,
+    scrape_delay_ms: u64,
 }
 
 impl Default for Args {
@@ -38,6 +42,7 @@ impl Default for Args {
             requests: 32,
             queries: 16,
             loadgen_seed: 1,
+            scrape_delay_ms: 0,
         }
     }
 }
@@ -57,11 +62,14 @@ fn parse_args() -> Result<Args, String> {
             "--requests" => args.requests = parse(&value("--requests")?)?,
             "--queries" => args.queries = parse(&value("--queries")?)?,
             "--loadgen-seed" => args.loadgen_seed = parse(&value("--loadgen-seed")?)?,
+            "--scrape-delay-ms" => args.scrape_delay_ms = parse(&value("--scrape-delay-ms")?)?,
             "--help" | "-h" => {
                 println!(
                     "ftl-loadgen [--addr A] [--graph SPEC] [--seed N] [--fault-sets N]\n\
                      \x20           [--faults-per-set N] [--clients N] [--requests N]\n\
-                     \x20           [--queries N] [--loadgen-seed N]"
+                     \x20           [--queries N] [--loadgen-seed N] [--scrape-delay-ms N]\n\
+                     \x20           (--scrape-delay-ms: scrape server metrics that long\n\
+                     \x20            into the run and print the per-stage latency table)"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +105,17 @@ fn run() -> Result<bool, String> {
         args.requests,
         args.queries
     );
+    // Mid-run scrape: a thread waits out the delay, then pulls the
+    // metrics exposition over the wire while the clients are still
+    // hammering — the table below is what the server looked like *under*
+    // load, not after the fact.
+    let scraper = (args.scrape_delay_ms > 0).then(|| {
+        let delay = std::time::Duration::from_millis(args.scrape_delay_ms);
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            scrape_metrics(addr)
+        })
+    });
     let report = run_loadgen(
         addr,
         &g,
@@ -109,6 +128,11 @@ fn run() -> Result<bool, String> {
             ..LoadgenConfig::default()
         },
     );
+    let scrape = scraper.map(|j| match j.join() {
+        Ok(Ok(text)) => Ok(text),
+        Ok(Err(e)) => Err(format!("scrape failed: {e}")),
+        Err(_) => Err("scrape thread panicked".to_string()),
+    });
     println!(
         "{} requests ok / {} queries ok in {:.1} ms — {:.0} queries/s, \
          p50 {:.3} ms, p99 {:.3} ms",
@@ -129,7 +153,49 @@ fn run() -> Result<bool, String> {
         report.shutdown_notices,
         report.io_errors
     );
+    match scrape {
+        Some(Ok(text)) => print_stage_table(&text, args.scrape_delay_ms),
+        Some(Err(e)) => eprintln!("ftl-loadgen: {e}"),
+        None => {}
+    }
     Ok(report.mismatches == 0)
+}
+
+/// Prints the per-stage latency breakdown from a mid-run scrape.
+fn print_stage_table(text: &str, delay_ms: u64) {
+    let rows = parse_stage_table(text);
+    println!("per-stage latency at +{delay_ms} ms (from MetricsRequest scrape):");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>12} {:>14}",
+        "stage", "count", "p50", "p99", "total"
+    );
+    for r in &rows {
+        println!(
+            "  {:<14} {:>12} {:>12} {:>12} {:>14}",
+            r.stage,
+            r.count,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.sum_ns)
+        );
+    }
+    if rows.is_empty() {
+        println!("  (no ftl_stage_ns series in scrape — server built with no-obs?)");
+    }
+}
+
+/// Human-scaled nanoseconds: `850ns`, `12.3us`, `4.56ms`, `1.20s`.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
 }
 
 fn main() {

@@ -30,6 +30,7 @@ struct Args {
     window_us: u64,
     budget: usize,
     duration_secs: u64,
+    stats_interval: u64,
 }
 
 impl Default for Args {
@@ -45,6 +46,7 @@ impl Default for Args {
             window_us: 500,
             budget: 1 << 16,
             duration_secs: 10,
+            stats_interval: 0,
         }
     }
 }
@@ -65,11 +67,14 @@ fn parse_args() -> Result<Args, String> {
             "--window-us" => args.window_us = parse(&value("--window-us")?)?,
             "--budget" => args.budget = parse(&value("--budget")?)?,
             "--duration-secs" => args.duration_secs = parse(&value("--duration-secs")?)?,
+            "--stats-interval" => args.stats_interval = parse(&value("--stats-interval")?)?,
             "--help" | "-h" => {
                 println!(
                     "ftl-serve [--addr A] [--graph SPEC] [--seed N] [--width B] [--shards N]\n\
                      \x20         [--executors N] [--workers N] [--window-us N] [--budget N]\n\
-                     \x20         [--duration-secs N]   (0 = run until Enter on stdin)"
+                     \x20         [--duration-secs N]   (0 = run until Enter on stdin)\n\
+                     \x20         [--stats-interval S]  (dump the metrics exposition to\n\
+                     \x20          stdout every S seconds while serving; 0 = off)"
                 );
                 std::process::exit(0);
             }
@@ -130,13 +135,41 @@ fn run() -> Result<(), String> {
         args.budget
     );
 
-    if args.duration_secs == 0 {
-        println!("press Enter to stop");
-        let mut line = String::new();
-        let _ = std::io::stdin().read_line(&mut line);
-    } else {
-        std::thread::sleep(Duration::from_secs(args.duration_secs));
-    }
+    // Optional periodic metrics dump: a scoped thread prints the same
+    // text exposition a MetricsRequest scrape would return, so a run
+    // without any monitoring client still leaves a latency/cache trace
+    // on stdout.
+    let stop_dump = std::sync::atomic::AtomicBool::new(false);
+    let serve_t0 = Instant::now();
+    std::thread::scope(|scope| {
+        if args.stats_interval > 0 {
+            let handle = &handle;
+            let stop = &stop_dump;
+            let interval = Duration::from_secs(args.stats_interval);
+            scope.spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if Instant::now() >= next {
+                        println!(
+                            "--- metrics @ +{:.1}s ---",
+                            serve_t0.elapsed().as_secs_f64()
+                        );
+                        print!("{}", handle.metrics_text());
+                        next = Instant::now() + interval;
+                    }
+                }
+            });
+        }
+        if args.duration_secs == 0 {
+            println!("press Enter to stop");
+            let mut line = String::new();
+            let _ = std::io::stdin().read_line(&mut line);
+        } else {
+            std::thread::sleep(Duration::from_secs(args.duration_secs));
+        }
+        stop_dump.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
 
     println!("draining...");
     let stats = handle.shutdown();

@@ -317,6 +317,76 @@ impl WireLabel for QueryResponseFrame {
     }
 }
 
+/// Most bytes a metrics exposition may carry on the wire. Generously
+/// above any real catalog (a full scrape is a few KiB) yet within the
+/// default frame ceiling, so a scrape never needs a bespoke
+/// `max_frame_bytes`.
+pub const MAX_METRICS_BYTES: usize = 1 << 19;
+
+/// An admin-plane metrics scrape (kind `0x50`). Carries only a
+/// correlation id: the server answers with its full text exposition,
+/// bypassing admission control and the batching pipeline entirely.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRequestFrame {
+    /// Client-chosen id echoed verbatim in the response.
+    pub request_id: u64,
+}
+
+impl WireLabel for MetricsRequestFrame {
+    const KIND: LabelKind = LabelKind::MetricsRequest;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        w.write_word(self.request_id, 64);
+    }
+
+    fn decode_payload(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(MetricsRequestFrame {
+            request_id: r.read_word(64)?,
+        })
+    }
+}
+
+/// The scrape answer (kind `0x51`): a Prometheus-style text exposition
+/// (see `docs/observability.md` for the series catalog).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsResponseFrame {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// The exposition text (UTF-8; in practice ASCII).
+    pub text: String,
+}
+
+impl WireLabel for MetricsResponseFrame {
+    const KIND: LabelKind = LabelKind::MetricsResponse;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        w.write_word(self.request_id, 64);
+        let bytes = self.text.as_bytes();
+        w.write_word(bytes.len().min(MAX_METRICS_BYTES) as u64, 32);
+        for &b in bytes.iter().take(MAX_METRICS_BYTES) {
+            w.write_word(b as u64, 8);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader) -> Result<Self, WireError> {
+        let request_id = r.read_word(64)?;
+        let len = r.read_word(32)? as usize;
+        if len > MAX_METRICS_BYTES {
+            return Err(WireError::Malformed("metrics text over limit"));
+        }
+        if len * 8 > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(r.read_word(8)? as u8);
+        }
+        let text = String::from_utf8(bytes)
+            .map_err(|_| WireError::Malformed("metrics text is not UTF-8"))?;
+        Ok(MetricsResponseFrame { request_id, text })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +460,39 @@ mod tests {
         assert_eq!(
             QueryRequestFrame::from_wire(&zero.to_wire()),
             Err(WireError::Malformed("request carries no queries"))
+        );
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        let req = MetricsRequestFrame { request_id: 77 };
+        assert_eq!(MetricsRequestFrame::from_wire(&req.to_wire()).unwrap(), req);
+        let resp = MetricsResponseFrame {
+            request_id: 77,
+            text: "# TYPE ftl_stage_ns summary\nftl_stage_ns_count{stage=\"answer\"} 3\n"
+                .to_string(),
+        };
+        assert_eq!(
+            MetricsResponseFrame::from_wire(&resp.to_wire()).unwrap(),
+            resp
+        );
+        // Kinds are distinct: a response never decodes as a request.
+        assert!(matches!(
+            MetricsRequestFrame::from_wire(&resp.to_wire()),
+            Err(WireError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_metrics_text_rejected_on_decode() {
+        // A lying length over the cap fails before any allocation.
+        let mut w = WireWriter::new();
+        w.write_word(1, 64);
+        w.write_word((MAX_METRICS_BYTES + 1) as u64, 32);
+        let bytes = w.finish(LabelKind::MetricsResponse);
+        assert_eq!(
+            MetricsResponseFrame::from_wire(&bytes),
+            Err(WireError::Malformed("metrics text over limit"))
         );
     }
 

@@ -50,10 +50,14 @@ pub mod spec;
 pub mod stats;
 
 pub use frame::{
-    FrameError, QueryRequestFrame, QueryResponseFrame, ResponseStatus, MAX_FAULTS_PER_REQUEST,
-    MAX_FRAME_BYTES_DEFAULT, MAX_QUERIES_PER_REQUEST,
+    FrameError, MetricsRequestFrame, MetricsResponseFrame, QueryRequestFrame, QueryResponseFrame,
+    ResponseStatus, MAX_FAULTS_PER_REQUEST, MAX_FRAME_BYTES_DEFAULT, MAX_METRICS_BYTES,
+    MAX_QUERIES_PER_REQUEST,
 };
-pub use loadgen::{run_loadgen, ConnectivityOracle, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    parse_stage_table, run_loadgen, scrape_metrics, ConnectivityOracle, LoadgenConfig,
+    LoadgenReport, StageRow,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use spec::{derive_fault_sets, parse_graph_spec};
 pub use stats::{StatsSnapshot, TenantSnapshot};

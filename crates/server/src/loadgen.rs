@@ -9,8 +9,8 @@
 //! with a small backoff and counted, never silently dropped.
 
 use crate::frame::{
-    read_frame, write_frame, QueryRequestFrame, QueryResponseFrame, ResponseStatus,
-    MAX_FRAME_BYTES_DEFAULT,
+    read_frame, write_frame, MetricsRequestFrame, MetricsResponseFrame, QueryRequestFrame,
+    QueryResponseFrame, ResponseStatus, MAX_FRAME_BYTES_DEFAULT,
 };
 use ftl_engine::percentile_nearest_rank;
 use ftl_graph::traversal::{connected_components, forbidden_mask};
@@ -175,6 +175,109 @@ pub fn run_loadgen(
     let secs = (report.wall_ns as f64 / 1e9).max(1e-9);
     report.queries_per_sec = report.queries_ok as f64 / secs;
     report
+}
+
+/// Scrapes the server's metrics exposition over the wire: one
+/// `MetricsRequest 0x50` envelope out, one `MetricsResponse 0x51` back —
+/// the same admin plane a monitoring agent would use. Works mid-load on
+/// its own connection; the server answers it from the reader thread
+/// without touching the batching pipeline.
+///
+/// # Errors
+///
+/// Fails on connect/socket errors, or (as `InvalidData`) when the
+/// response frame is malformed or answers a different request id.
+pub fn scrape_metrics(addr: SocketAddr) -> std::io::Result<String> {
+    use std::io::{Error, ErrorKind};
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let request_id = 0x0B5E_55C4_A9E0_0001;
+    write_frame(&mut stream, &MetricsRequestFrame { request_id }.to_wire())?;
+    let never_stop = AtomicBool::new(false);
+    let body = read_frame(&mut stream, MAX_FRAME_BYTES_DEFAULT, &never_stop)
+        .map_err(|e| Error::new(ErrorKind::InvalidData, format!("scrape read: {e}")))?;
+    let resp = MetricsResponseFrame::from_wire(&body)
+        .map_err(|e| Error::new(ErrorKind::InvalidData, format!("scrape decode: {e}")))?;
+    if resp.request_id != request_id {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            "scrape response answered a different request id",
+        ));
+    }
+    Ok(resp.text)
+}
+
+/// One row of the per-stage latency table parsed out of a scrape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageRow {
+    /// Stage name as exposed (`frame_read`, `admission`, ...).
+    pub stage: String,
+    /// Samples recorded into the stage histogram.
+    pub count: u64,
+    /// Sum of all recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Nearest-rank median, nanoseconds (bucket upper bound).
+    pub p50_ns: u64,
+    /// Nearest-rank p99, nanoseconds (bucket upper bound).
+    pub p99_ns: u64,
+}
+
+/// Extracts the `ftl_stage_ns` family from a text exposition into table
+/// rows, one per stage, in first-appearance order. Lines that are not
+/// stage samples (other families, `# TYPE` headers, malformed input) are
+/// skipped — a scrape of a server built with `no-obs` parses to rows with
+/// every field zero.
+pub fn parse_stage_table(text: &str) -> Vec<StageRow> {
+    fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+        labels.split(',').find_map(|part| {
+            let (k, v) = part.split_once('=')?;
+            (k == key).then(|| v.trim_matches('"'))
+        })
+    }
+    let mut rows: Vec<StageRow> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("ftl_stage_ns") else {
+            continue;
+        };
+        let (Some(open), Some(close)) = (rest.find('{'), rest.find('}')) else {
+            continue;
+        };
+        let (Some(field), Some(labels), Some(tail)) = (
+            rest.get(..open),
+            rest.get(open + 1..close),
+            rest.get(close + 1..),
+        ) else {
+            continue;
+        };
+        let Some(stage) = label_value(labels, "stage") else {
+            continue;
+        };
+        let Ok(value) = tail.trim().parse::<u64>() else {
+            continue;
+        };
+        let idx = rows
+            .iter()
+            .position(|r| r.stage == stage)
+            .unwrap_or_else(|| {
+                rows.push(StageRow {
+                    stage: stage.to_string(),
+                    ..StageRow::default()
+                });
+                rows.len() - 1
+            });
+        let Some(row) = rows.get_mut(idx) else {
+            continue;
+        };
+        match (field, label_value(labels, "quantile")) {
+            ("", Some("0.5")) => row.p50_ns = value,
+            ("", Some("0.99")) => row.p99_ns = value,
+            ("_count", None) => row.count = value,
+            ("_sum", None) => row.sum_ns = value,
+            _ => {}
+        }
+    }
+    rows
 }
 
 fn run_client(

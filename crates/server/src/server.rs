@@ -31,8 +31,8 @@
 
 use crate::batcher::{Batcher, Pending, SubmitError};
 use crate::frame::{
-    read_frame, FrameError, QueryRequestFrame, QueryResponseFrame, ResponseStatus,
-    MAX_FRAME_BYTES_DEFAULT,
+    read_frame, FrameError, MetricsRequestFrame, MetricsResponseFrame, QueryRequestFrame,
+    QueryResponseFrame, ResponseStatus, MAX_FRAME_BYTES_DEFAULT,
 };
 use crate::registry::Registry;
 use crate::stats::{ServerStats, StatsSnapshot};
@@ -40,7 +40,8 @@ use ftl_engine::{
     canonical_fault_hash, Engine, EngineConfig, EpochStore, FaultSetBatch, GroupedResponse,
     ParEngine,
 };
-use ftl_labels::wire::WireLabel;
+use ftl_labels::wire::{LabelKind, WireLabel};
+use ftl_obs::{Span, Stage};
 use ftl_seeded::DetHashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -203,6 +204,13 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
+    /// The full metrics exposition, exactly as a `MetricsRequest 0x50`
+    /// scrape over the wire would serve it: the process-wide pipeline
+    /// families plus this server's `ftl_server_*` counters.
+    pub fn metrics_text(&self) -> String {
+        self.stats.render_text()
+    }
+
     /// Graceful shutdown: stop accepting, join the readers, drain every
     /// window already admitted, join the executors, and return the final
     /// counters.
@@ -296,19 +304,50 @@ fn serve_connection(
     // responses still need this connection's writer. Registry teardown is
     // the handle's problem, not the reader's.
     let mut keep_registered = false;
+    let obs = ftl_obs::global();
     loop {
-        match read_frame(&mut stream, config.max_frame_bytes, stop) {
+        let frame = {
+            // The frame-read stage brackets the blocking read, so on a
+            // lightly loaded connection it includes the wait for the
+            // client's next request — see docs/observability.md.
+            let _span = Span::enter(&obs.stages, Stage::FrameRead);
+            read_frame(&mut stream, config.max_frame_bytes, stop)
+        };
+        match frame {
+            // The admin plane: a metrics scrape is answered inline by the
+            // reader thread, bypassing admission control and the batching
+            // pipeline (it must work *because* the data plane is full).
+            Ok(record) if record.get(3) == Some(&(LabelKind::MetricsRequest as u8)) => {
+                match MetricsRequestFrame::from_wire(&record) {
+                    Ok(req) => {
+                        let frame = MetricsResponseFrame {
+                            request_id: req.request_id,
+                            text: stats.render_text(),
+                        };
+                        if writer.send(&frame.to_wire()).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        stats.record_frame_error();
+                        break;
+                    }
+                }
+            }
             Ok(record) => match QueryRequestFrame::from_wire(&record) {
                 Ok(req) => {
                     let (request_id, tenant) = (req.request_id, req.tenant_id);
-                    let submitted = batcher.submit(Pending {
-                        conn,
-                        request_id,
-                        tenant,
-                        faults: req.faults,
-                        queries: req.queries,
-                        enqueued: Instant::now(),
-                    });
+                    let submitted = {
+                        let _span = Span::enter(&obs.stages, Stage::Admission);
+                        batcher.submit(Pending {
+                            conn,
+                            request_id,
+                            tenant,
+                            faults: req.faults,
+                            queries: req.queries,
+                            enqueued: Instant::now(),
+                        })
+                    };
                     let reject = match submitted {
                         Ok(()) => continue,
                         Err(SubmitError::Busy { pending, budget }) => {
@@ -357,6 +396,12 @@ fn execute_window(
     registry: &Registry,
     stats: &ServerStats,
 ) {
+    let obs = ftl_obs::global();
+    // Window-wait stage: admission to the executor picking the window up.
+    for p in window {
+        obs.stages
+            .record(Stage::WindowWait, p.enqueued.elapsed().as_nanos() as u64);
+    }
     let mut by_hash: DetHashMap<u64, usize> = DetHashMap::default();
     let mut groups: Vec<FaultSetBatch> = Vec::new();
     let mut members: Vec<Vec<usize>> = Vec::new();
@@ -379,7 +424,14 @@ fn execute_window(
         }
     }
 
+    let engine_t0 = Instant::now();
     let resp = engine.execute_grouped(&groups);
+    // Answer stage: engine time amortized per query, recorded once per
+    // window (per-query clock reads would dominate the ~16 ns answers).
+    let total_queries: u64 = groups.iter().map(|g| g.queries.len() as u64).sum();
+    if let Some(per_query) = (engine_t0.elapsed().as_nanos() as u64).checked_div(total_queries) {
+        obs.stages.record(Stage::Answer, per_query);
+    }
     stats.record_batch(groups.len());
     let epoch = resp.stats.epoch;
 
@@ -452,13 +504,20 @@ fn fresh_group(
 /// in this or other executors' windows are dropped instantly instead of
 /// each eating another timeout — and the socket is shut down so the
 /// reader thread exits too.
-fn respond(registry: &Registry, p: &Pending, epoch: u64, status: ResponseStatus, stats: &ServerStats) {
+fn respond(
+    registry: &Registry,
+    p: &Pending,
+    epoch: u64,
+    status: ResponseStatus,
+    stats: &ServerStats,
+) {
     let frame = QueryResponseFrame {
         request_id: p.request_id,
         epoch,
         status,
     };
     if let Some(writer) = registry.get(p.conn) {
+        let _span = Span::enter(&ftl_obs::global().stages, Stage::ResponseWrite);
         if writer.send(&frame.to_wire()).is_err() {
             stats.record_slow_drop();
             registry.deregister(p.conn);

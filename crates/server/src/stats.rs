@@ -1,27 +1,35 @@
-//! Per-tenant and server-wide serving counters.
+//! Per-tenant and server-wide serving counters, built on `ftl-obs`.
 //!
-//! Hot-path updates are cheap: server-wide counters are single atomic
-//! adds, per-tenant counters take one short `locked::Slot` hold. Latency is
-//! recorded as raw nanosecond samples (capped per tenant so a long-lived
-//! server cannot grow without bound) and summarized to nearest-rank
-//! p50/p99 — the same estimator the bench harness uses
-//! (`ftl_engine::percentile_nearest_rank`) — only at snapshot time.
+//! One metrics system: every counter here is an [`ftl_obs::Counter`] and
+//! every latency distribution an [`ftl_obs::Histogram`], the same
+//! primitives the pipeline's stage spans and engine counters use — so
+//! the shutdown [`StatsSnapshot`] is a *view* over the registry, and
+//! [`ServerStats::render_text`] appends the `ftl_server_*` families to
+//! the process-wide exposition to answer a `MetricsRequest 0x50` scrape.
+//!
+//! Hot-path updates are cheap: server-wide counters are single relaxed
+//! atomic adds, per-tenant counters take one short `locked::Slot` hold.
+//! Latency goes straight into a fixed log-bucket histogram — there is no
+//! raw-sample buffer, so (unlike the first-N-samples cap this replaced)
+//! a long run's percentiles reflect *every* sample, not the warm-up.
+//! Readout is nearest-rank (`ftl_engine::percentile_nearest_rank`
+//! semantics over the buckets, ≤ 12.5 % bucketization error). Under the
+//! `no-obs` feature the obs primitives are compiled-out stubs and every
+//! series reads zero.
 
 use crate::locked::Slot;
-use ftl_engine::percentile_nearest_rank;
+use ftl_obs::{expo, Counter, Histogram};
 use ftl_seeded::DetHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Most latency samples kept per tenant; later samples still count but
-/// stop being sampled for percentiles.
-const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
 #[derive(Debug, Default)]
 struct TenantCounters {
-    requests: u64,
-    queries: u64,
-    rejects: u64,
-    latencies_ns: Vec<u64>,
+    requests: Counter,
+    queries: Counter,
+    rejects: Counter,
+    // Boxed: ~4 KiB of buckets per tenant, allocated once on the
+    // tenant's first request (under the Slot hold, off the record path's
+    // steady state).
+    latency_ns: Box<Histogram>,
 }
 
 /// One tenant's snapshot.
@@ -73,17 +81,22 @@ pub struct StatsSnapshot {
 }
 
 /// The live counters, shared by readers, executors, and the acceptor.
+///
+/// Per-server-instance (not process-global) so co-resident servers —
+/// every loopback test, or two `ftl-serve`s in one process — keep exact,
+/// independent counts. The process-global pipeline metrics (stages,
+/// engine, epochs) live in [`ftl_obs::global`]; a scrape stitches both.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    batches: AtomicU64,
-    groups: AtomicU64,
-    queries: AtomicU64,
-    requests: AtomicU64,
-    rejects: AtomicU64,
-    engine_errors: AtomicU64,
-    frame_errors: AtomicU64,
-    slow_client_drops: AtomicU64,
-    connections_accepted: AtomicU64,
+    batches: Counter,
+    groups: Counter,
+    queries: Counter,
+    requests: Counter,
+    rejects: Counter,
+    engine_errors: Counter,
+    frame_errors: Counter,
+    slow_client_drops: Counter,
+    connections_accepted: Counter,
     tenants: Slot<DetHashMap<u32, TenantCounters>>,
 }
 
@@ -95,88 +108,159 @@ impl ServerStats {
 
     /// Records a request answered `Ok`.
     pub fn record_ok(&self, tenant: u32, queries: usize, latency_ns: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.queries.add(queries as u64);
         self.tenants.with(|t| {
             let c = t.entry(tenant).or_default();
-            c.requests += 1;
-            c.queries += queries as u64;
-            if c.latencies_ns.len() < MAX_LATENCY_SAMPLES {
-                c.latencies_ns.push(latency_ns);
-            }
+            c.requests.inc();
+            c.queries.add(queries as u64);
+            c.latency_ns.record(latency_ns);
         });
     }
 
     /// Records an admission-control reject.
     pub fn record_reject(&self, tenant: u32) {
-        self.rejects.fetch_add(1, Ordering::Relaxed);
+        self.rejects.inc();
         self.tenants
-            .with(|t| t.entry(tenant).or_default().rejects += 1);
+            .with(|t| t.entry(tenant).or_default().rejects.inc());
     }
 
     /// Records one executed accumulation window of `groups` fault-set
     /// groups.
     pub fn record_batch(&self, groups: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.groups.fetch_add(groups as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.groups.add(groups as u64);
     }
 
     /// Records a request whose group failed in the engine.
     pub fn record_engine_error(&self) {
-        self.engine_errors.fetch_add(1, Ordering::Relaxed);
+        self.engine_errors.inc();
     }
 
     /// Records a connection dropped for a protocol violation.
     pub fn record_frame_error(&self) {
-        self.frame_errors.fetch_add(1, Ordering::Relaxed);
+        self.frame_errors.inc();
     }
 
     /// Records a connection dropped because a response write failed
     /// (write timeout against a stalled reader).
     pub fn record_slow_drop(&self) {
-        self.slow_client_drops.fetch_add(1, Ordering::Relaxed);
+        self.slow_client_drops.inc();
     }
 
     /// Records an accepted connection.
     pub fn record_connection(&self) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_accepted.inc();
     }
 
     /// Snapshots every counter, summarizing latencies to p50/p99.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut tenants: Vec<TenantSnapshot> = self.tenants.with(|t| {
             t.iter()
-                .map(|(&tenant, c)| {
-                    let mut sorted: Vec<f64> = c.latencies_ns.iter().map(|&ns| ns as f64).collect();
-                    sorted.sort_by(f64::total_cmp);
-                    TenantSnapshot {
-                        tenant,
-                        requests: c.requests,
-                        queries: c.queries,
-                        rejects: c.rejects,
-                        p50_ms: percentile_nearest_rank(&sorted, 0.5) / 1e6,
-                        p99_ms: percentile_nearest_rank(&sorted, 0.99) / 1e6,
-                    }
+                .map(|(&tenant, c)| TenantSnapshot {
+                    tenant,
+                    requests: c.requests.get(),
+                    queries: c.queries.get(),
+                    rejects: c.rejects.get(),
+                    p50_ms: c.latency_ns.percentile(0.5) as f64 / 1e6,
+                    p99_ms: c.latency_ns.percentile(0.99) as f64 / 1e6,
                 })
                 .collect()
         });
         tenants.sort_by_key(|t| t.tenant);
         StatsSnapshot {
-            batches: self.batches.load(Ordering::Relaxed),
-            groups: self.groups.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            rejects: self.rejects.load(Ordering::Relaxed),
-            engine_errors: self.engine_errors.load(Ordering::Relaxed),
-            frame_errors: self.frame_errors.load(Ordering::Relaxed),
-            slow_client_drops: self.slow_client_drops.load(Ordering::Relaxed),
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            groups: self.groups.get(),
+            queries: self.queries.get(),
+            requests: self.requests.get(),
+            rejects: self.rejects.get(),
+            engine_errors: self.engine_errors.get(),
+            frame_errors: self.frame_errors.get(),
+            slow_client_drops: self.slow_client_drops.get(),
+            connections_accepted: self.connections_accepted.get(),
             tenants,
         }
     }
+
+    /// The full scrape text: the process-wide pipeline families
+    /// ([`ftl_obs::Registry::render_into`] on the global registry — stage
+    /// latencies, engine cache counters, epoch gauges) followed by this
+    /// server's `ftl_server_*` families and the per-tenant breakdown.
+    /// This is what a `MetricsRequest 0x50` gets back.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(8 << 10);
+        ftl_obs::global().render_into(&mut out);
+        expo::counter(&mut out, "ftl_server_batches_total", self.batches.get());
+        expo::counter(&mut out, "ftl_server_groups_total", self.groups.get());
+        expo::counter(&mut out, "ftl_server_requests_total", self.requests.get());
+        expo::counter(&mut out, "ftl_server_queries_total", self.queries.get());
+        expo::counter(&mut out, "ftl_server_rejects_total", self.rejects.get());
+        expo::counter(
+            &mut out,
+            "ftl_server_engine_errors_total",
+            self.engine_errors.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ftl_server_frame_errors_total",
+            self.frame_errors.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ftl_server_slow_client_drops_total",
+            self.slow_client_drops.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ftl_server_connections_total",
+            self.connections_accepted.get(),
+        );
+        self.tenants.with(|t| {
+            let mut ids: Vec<u32> = t.keys().copied().collect();
+            ids.sort_unstable();
+            for family in [
+                "ftl_server_tenant_requests_total",
+                "ftl_server_tenant_queries_total",
+                "ftl_server_tenant_rejects_total",
+            ] {
+                expo::type_line(&mut out, family, "counter");
+            }
+            expo::type_line(&mut out, "ftl_server_tenant_latency_ns", "summary");
+            for id in ids {
+                let Some(c) = t.get(&id) else { continue };
+                let tenant = id.to_string();
+                let labels = [("tenant", tenant.as_str())];
+                expo::sample(
+                    &mut out,
+                    "ftl_server_tenant_requests_total",
+                    &labels,
+                    c.requests.get(),
+                );
+                expo::sample(
+                    &mut out,
+                    "ftl_server_tenant_queries_total",
+                    &labels,
+                    c.queries.get(),
+                );
+                expo::sample(
+                    &mut out,
+                    "ftl_server_tenant_rejects_total",
+                    &labels,
+                    c.rejects.get(),
+                );
+                expo::histogram(
+                    &mut out,
+                    "ftl_server_tenant_latency_ns",
+                    &labels,
+                    &c.latency_ns,
+                );
+            }
+        });
+        out
+    }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "no-obs")))]
 mod tests {
     use super::*;
 
@@ -198,7 +282,52 @@ mod tests {
         assert_eq!(snap.tenants.len(), 2);
         let t7 = &snap.tenants[0];
         assert_eq!((t7.tenant, t7.requests, t7.rejects), (7, 100, 1));
-        assert_eq!(t7.p50_ms, 50.0);
-        assert_eq!(t7.p99_ms, 99.0);
+        // Nearest-rank over log buckets: within the 12.5% bucket bound of
+        // the exact sample percentiles (50ms, 99ms).
+        assert!((t7.p50_ms - 50.0).abs() <= 50.0 * 0.125, "{}", t7.p50_ms);
+        assert!((t7.p99_ms - 99.0).abs() <= 99.0 * 0.125, "{}", t7.p99_ms);
+    }
+
+    #[test]
+    fn late_run_latencies_still_influence_percentiles() {
+        // Regression for the first-N-samples cap this module used to
+        // carry: a warm-up of fast requests followed by a much longer
+        // steady state of slow ones must report steady-state percentiles.
+        // (With a capped buffer keeping only the earliest samples, p99
+        // would stay at the 1ms warm-up value forever.)
+        let s = ServerStats::new();
+        for _ in 0..1_000 {
+            s.record_ok(3, 1, 1_000_000); // 1ms warm-up
+        }
+        for _ in 0..99_000 {
+            s.record_ok(3, 1, 100_000_000); // 100ms steady state
+        }
+        let snap = s.snapshot();
+        let t = &snap.tenants[0];
+        assert_eq!(t.requests, 100_000);
+        assert!(t.p50_ms >= 80.0, "p50 stuck at warm-up: {}", t.p50_ms);
+        assert!(t.p99_ms >= 80.0, "p99 stuck at warm-up: {}", t.p99_ms);
+    }
+
+    #[test]
+    fn scrape_text_carries_server_and_pipeline_families() {
+        let s = ServerStats::new();
+        s.record_ok(2, 8, 2_000_000);
+        s.record_connection();
+        let text = s.render_text();
+        for series in [
+            // Pipeline side, from the global registry.
+            "# TYPE ftl_stage_ns summary",
+            "ftl_engine_cache_hit_ratio",
+            "ftl_epoch_lag",
+            // Server side, from this instance.
+            "ftl_server_requests_total 1",
+            "ftl_server_queries_total 8",
+            "ftl_server_connections_total 1",
+            "ftl_server_tenant_requests_total{tenant=\"2\"} 1",
+            "ftl_server_tenant_latency_ns_count{tenant=\"2\"} 1",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in:\n{text}");
+        }
     }
 }

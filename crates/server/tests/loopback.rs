@@ -367,7 +367,8 @@ fn stalled_reader_costs_only_its_own_connection() {
     // A well-behaved client on another connection is served normally
     // while (and after) the stalled one chokes.
     let mut live = TcpStream::connect(handle.local_addr()).unwrap();
-    live.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    live.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     let good = QueryRequestFrame {
         request_id: 7,
         tenant_id: 2,
