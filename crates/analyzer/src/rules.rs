@@ -3,8 +3,8 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | FTL001 | functions annotated `// ftl-analyzer: hot-path`, and every workspace function they transitively call, perform no heap allocation (`Vec::new`, `vec!`, `to_vec`, `collect`, `.clone()`, `Box::new`, `format!`, `String::from`) |
-//! | FTL002 | `ftl-engine` holds no lock on the read path (`Mutex`/`RwLock`/`.lock()`/`.read()`/`.write()`) — only `epoch.rs`'s annotated writer side may; `ftl-server` locking (`Mutex`/`RwLock`/`.lock()`) is confined to its annotated `Slot` wrapper and batcher; `ftl-obs` is lock-free outright (atomics only, wide trigger set, no blessed side) |
-//! | FTL003 | `ftl-engine`/`ftl-labels`/`ftl-server`/`ftl-obs` non-test code never panics (`unwrap`/`expect`/`panic!`/`unreachable!`/slice-index-without-get) |
+//! | FTL002 | `ftl-engine` holds no lock on the read path (`Mutex`/`RwLock`/`.lock()`/`.read()`/`.write()`) — only `epoch.rs`'s annotated writer side may; `ftl-server` and `ftl-chaos` locking (`Mutex`/`RwLock`/`.lock()`) is confined to annotated sites (`.read()`/`.write()` there are socket I/O); `ftl-obs` is lock-free outright (atomics only, wide trigger set, no blessed side) |
+//! | FTL003 | `ftl-engine`/`ftl-labels`/`ftl-server`/`ftl-obs`/`ftl-chaos` non-test code never panics (`unwrap`/`expect`/`panic!`/`unreachable!`/slice-index-without-get) |
 //! | FTL004 | label/store code hashes deterministically (no default-hasher `HashMap`/`HashSet`/`RandomState`; use `ftl_seeded::DetHashMap`) |
 //!
 //! Every check runs on lexed tokens (never raw text) and honors
@@ -81,6 +81,11 @@ pub fn explain(rule: RuleId) -> &'static str {
              wrapper in locked.rs, the batcher's window mutex/condvar, and\n\
              the per-connection writer slots, all annotated.\n\
              \n\
+             ftl-chaos shares the server's narrow trigger set (its pumps\n\
+             are socket `.read()`/`.write()` all over) with no blessed\n\
+             side at all: the proxy coordinates through atomics, so any\n\
+             `Mutex`/`RwLock`/`.lock()` mention there is a finding.\n\
+             \n\
              ftl-obs gets the engine's wide trigger set with *no* blessed\n\
              side: the metrics record path is relaxed atomics only, so any\n\
              lock mention in crates/obs is a finding.\n\
@@ -93,8 +98,8 @@ pub fn explain(rule: RuleId) -> &'static str {
         RuleId::PanicFree => {
             "FTL003 · panic-free serving\n\
              \n\
-             Non-test code in ftl-engine, ftl-labels, ftl-server, and\n\
-             ftl-obs must not\n\
+             Non-test code in ftl-engine, ftl-labels, ftl-server,\n\
+             ftl-obs, and ftl-chaos must not\n\
              call .unwrap() or .expect(), must not invoke panic! or\n\
              unreachable!, and is\n\
              flagged for slice indexing (`x[i]`, `x[a..b]`) which panics out of\n\
@@ -113,7 +118,7 @@ pub fn explain(rule: RuleId) -> &'static str {
             "FTL004 · deterministic hashing\n\
              \n\
              Label/store code (ftl-labels, ftl-cycle-space, ftl-sketch,\n\
-             ftl-server, ftl-obs, and the\n\
+             ftl-server, ftl-obs, ftl-chaos, and the\n\
              engine's store.rs/cache.rs) must not use std's default-hasher\n\
              HashMap/HashSet (RandomState is keyed per process, so iteration\n\
              order — and anything derived from it, like sidecar placement or\n\
@@ -319,11 +324,11 @@ fn rule_lock_free(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     let scoped = files
         .iter()
-        .filter(|f| matches!(f.crate_name.as_str(), "engine" | "server" | "obs"));
+        .filter(|f| matches!(f.crate_name.as_str(), "engine" | "server" | "obs" | "chaos"));
     for f in scoped {
         // `.read()`/`.write()` only count inside the engine and ftl-obs:
-        // in ftl-server those are socket I/O (`Read`/`Write` trait
-        // calls), not lock acquisition, so only `Mutex`/`RwLock` and
+        // in ftl-server and ftl-chaos those are socket I/O (`Read`/`Write`
+        // trait calls), not lock acquisition, so only `Mutex`/`RwLock` and
         // `.lock()` fire there. ftl-obs gets the wide trigger set — the
         // metrics record path is atomics-only by contract, with no
         // blessed writer side at all.
@@ -354,6 +359,10 @@ fn rule_lock_free(files: &[SourceFile]) -> Vec<Finding> {
                         "{what} in ftl-obs — the metrics record path is atomics-only, \
                          with no blessed locking anywhere in the crate"
                     ),
+                    "chaos" => format!(
+                        "{what} in ftl-chaos — the proxy's pumps coordinate through \
+                         atomics only, with no blessed locking anywhere in the crate"
+                    ),
                     _ => format!(
                         "{what} in ftl-server outside the annotated `Slot` wrapper — \
                          concentrate locking in locked.rs and the batcher window"
@@ -378,7 +387,7 @@ fn rule_panic_free(files: &[SourceFile]) -> Vec<Finding> {
     let scoped = files.iter().filter(|f| {
         matches!(
             f.crate_name.as_str(),
-            "engine" | "labels" | "server" | "obs"
+            "engine" | "labels" | "server" | "obs" | "chaos"
         )
     });
     for f in scoped {
@@ -437,11 +446,12 @@ fn rule_panic_free(files: &[SourceFile]) -> Vec<Finding> {
 
 /// Whether FTL004 (deterministic hashing) covers this file: all label
 /// crates, the server (per-tenant stats keyed by id), the obs registry
-/// (a stray map there would sit under the same serving path), plus the
-/// engine's store and cache.
+/// (a stray map there would sit under the same serving path), the chaos
+/// proxy (a map in plan drawing would make storms unreplayable), plus
+/// the engine's store and cache.
 fn det_hash_scope(f: &SourceFile) -> bool {
     match f.crate_name.as_str() {
-        "labels" | "cycle-space" | "sketch" | "server" | "obs" => true,
+        "labels" | "cycle-space" | "sketch" | "server" | "obs" | "chaos" => true,
         "engine" => f.path.ends_with("store.rs") || f.path.ends_with("cache.rs"),
         _ => false,
     }

@@ -125,6 +125,62 @@ fn ftl002_server_scope_flags_locks_but_not_socket_read_write() {
 }
 
 #[test]
+fn chaos_scope_gets_narrow_lock_triggers_and_panic_and_hash_rules() {
+    let findings = fixture_findings();
+    let use_lock = line_of("crates/chaos/src/net.rs", "use std::sync::Mutex");
+    let lock_line = line_of("crates/chaos/src/net.rs", "m.lock().expect");
+    let read_line = line_of("crates/chaos/src/net.rs", "pump-read-site");
+    let write_line = line_of("crates/chaos/src/net.rs", "pump-write-site");
+    let index_line = line_of("crates/chaos/src/net.rs", "garbage[i]");
+    let use_map = line_of("crates/chaos/src/net.rs", "use std::collections::HashMap");
+    // FTL002 with the server's narrow trigger set, and the chaos-specific
+    // no-blessed-side message.
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "chaos/src/net.rs",
+        use_lock
+    ));
+    assert!(has(
+        &findings,
+        RuleId::LockFree,
+        "chaos/src/net.rs",
+        lock_line
+    ));
+    assert!(
+        !has(&findings, RuleId::LockFree, "chaos/src/net.rs", read_line),
+        "`.read()` in ftl-chaos is pump socket I/O, not a lock"
+    );
+    assert!(
+        !has(&findings, RuleId::LockFree, "chaos/src/net.rs", write_line),
+        "`.write()` in ftl-chaos is pump socket I/O, not a lock"
+    );
+    let lock_msg = findings
+        .iter()
+        .find(|f| f.rule == RuleId::LockFree && f.file.contains("chaos/src/net.rs"))
+        .unwrap();
+    assert!(
+        lock_msg.message.contains("ftl-chaos"),
+        "{}",
+        lock_msg.message
+    );
+    // FTL003 and FTL004 cover the crate like the other serving crates.
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "chaos/src/net.rs",
+        lock_line
+    ));
+    assert!(has(
+        &findings,
+        RuleId::PanicFree,
+        "chaos/src/net.rs",
+        index_line
+    ));
+    assert!(has(&findings, RuleId::DetHash, "chaos/src/net.rs", use_map));
+}
+
+#[test]
 fn ftl003_fires_on_unwrap_panic_and_index_but_honors_allow_and_tests() {
     let findings = fixture_findings();
     let unwrap = line_of("crates/engine/src/lib.rs", "m.lock().unwrap()");

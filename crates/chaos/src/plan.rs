@@ -1,0 +1,354 @@
+//! The seeded fault plan: which connections misbehave, and how.
+//!
+//! Every decision the proxy makes is a pure function of
+//! `(PlanConfig::seed, connection index)` through `ftl_seeded::Seed`, the
+//! same splittable PRF the engine's record-corruption harness
+//! (`ftl_engine::inject`) and the labeling schemes use. Re-running a
+//! chaos scenario with the same seed replays the *same* faults against
+//! the same connection indices — a failing soak run is a repro, not an
+//! anecdote.
+//!
+//! A connection's plan has two independent parts:
+//!
+//! * a **fault** ([`ConnFault`]) — at most one per connection, drawn by a
+//!   per-mille roll: an immediate reset, a reset after a seeded byte
+//!   count (which lands mid-frame more often than not), a black hole
+//!   (accepted, read, never forwarded), or injected garbage bytes;
+//! * **shaping** ([`Shaping`]) — orthogonal delivery degradation applied
+//!   to whatever does flow: writes split into small delayed chunks,
+//!   and/or a byte-rate throttle.
+
+use ftl_seeded::Seed;
+use std::time::Duration;
+
+/// Which pump direction a byte-positioned fault applies to.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum Direction {
+    /// The client→server stream (requests).
+    ToServer,
+    /// The server→client stream (responses).
+    ToClient,
+}
+
+impl Direction {
+    /// Stable label for stats and debugging.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::ToServer => "to_server",
+            Direction::ToClient => "to_client",
+        }
+    }
+}
+
+/// The at-most-one fault a connection is assigned.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Forward faithfully (shaping may still apply).
+    Pass,
+    /// Tear the connection down the moment it is accepted — the client
+    /// observes a connect that immediately dies.
+    ResetImmediate,
+    /// Forward exactly `bytes` bytes in direction `dir`, then tear both
+    /// directions down. Byte counts are drawn small enough to land
+    /// mid-frame routinely — this is the torn-frame generator.
+    ResetAfter {
+        /// The stream the byte budget counts.
+        dir: Direction,
+        /// Bytes forwarded before the teardown.
+        bytes: u64,
+    },
+    /// Accept the connection and read its bytes forever, forwarding
+    /// nothing and answering nothing: the client's only way out is its
+    /// own deadline.
+    Blackhole,
+    /// After `after_bytes` forwarded bytes in direction `dir`, splice
+    /// `len` seeded garbage bytes into the stream (desyncing the peer's
+    /// framing), then keep forwarding faithfully.
+    InjectGarbage {
+        /// The stream the garbage is spliced into.
+        dir: Direction,
+        /// Faithful bytes before the splice.
+        after_bytes: u64,
+        /// Garbage byte count.
+        len: u32,
+    },
+}
+
+/// Delivery degradation applied to forwarded bytes (orthogonal to the
+/// fault roll; both can apply to one connection).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Shaping {
+    /// Forwarded writes are split into chunks of at most this many bytes
+    /// (`None` = whole reads forwarded as read).
+    pub split_chunk: Option<u32>,
+    /// Pause between split chunks.
+    pub split_delay: Duration,
+    /// Byte-rate ceiling across the connection (`None` = unthrottled).
+    pub throttle_bytes_per_sec: Option<u64>,
+}
+
+impl Shaping {
+    /// Whether any degradation applies.
+    pub fn is_active(&self) -> bool {
+        self.split_chunk.is_some() || self.throttle_bytes_per_sec.is_some()
+    }
+}
+
+/// One connection's complete, deterministic misbehavior assignment.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// The connection index the plan was drawn for (0-based accept
+    /// order).
+    pub conn: u64,
+    /// The at-most-one fault.
+    pub fault: ConnFault,
+    /// Delivery shaping.
+    pub shaping: Shaping,
+}
+
+/// Fault probabilities (per mille, rolled once per connection) and fault
+/// shape parameters. The per-mille fields are *cumulative slots* out of
+/// 1000: a connection draws one roll, and `reset_immediate_pm = 100,
+/// blackhole_pm = 50` means 10 % immediate resets, 5 % black holes, and
+/// the rest of the probability mass passes through. Slot sums over 1000
+/// saturate in declaration order.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Master seed; every per-connection draw derives from it.
+    pub seed: u64,
+    /// ‰ of connections reset the moment they are accepted.
+    pub reset_immediate_pm: u32,
+    /// ‰ of connections reset after a seeded byte count (mid-frame).
+    pub reset_midstream_pm: u32,
+    /// ‰ of connections black-holed (accepted, never forwarded).
+    pub blackhole_pm: u32,
+    /// ‰ of connections that get garbage spliced into one direction.
+    pub garbage_pm: u32,
+    /// ‰ of connections whose writes are split into delayed chunks
+    /// (independent of the fault roll).
+    pub split_pm: u32,
+    /// ‰ of connections throttled to
+    /// [`throttle_bytes_per_sec`](PlanConfig::throttle_bytes_per_sec)
+    /// (independent of the fault roll).
+    pub throttle_pm: u32,
+    /// Mid-stream reset points are drawn uniformly from
+    /// `1..=reset_window_bytes`.
+    pub reset_window_bytes: u64,
+    /// Garbage splice points are drawn uniformly from
+    /// `0..=garbage_window_bytes`.
+    pub garbage_window_bytes: u64,
+    /// Garbage bytes spliced per injection.
+    pub garbage_len: u32,
+    /// Chunk ceiling for split writes.
+    pub split_chunk: u32,
+    /// Pause between split chunks.
+    pub split_delay: Duration,
+    /// Byte-rate ceiling for throttled connections.
+    pub throttle_bytes_per_sec: u64,
+}
+
+impl Default for PlanConfig {
+    /// A calm default: everything passes through unshaped. Scenarios
+    /// raise the per-mille knobs they want.
+    fn default() -> Self {
+        PlanConfig {
+            seed: 1,
+            reset_immediate_pm: 0,
+            reset_midstream_pm: 0,
+            blackhole_pm: 0,
+            garbage_pm: 0,
+            split_pm: 0,
+            throttle_pm: 0,
+            reset_window_bytes: 256,
+            garbage_window_bytes: 64,
+            garbage_len: 16,
+            split_chunk: 3,
+            split_delay: Duration::from_micros(200),
+            throttle_bytes_per_sec: 64 << 10,
+        }
+    }
+}
+
+// Domain-separation tags for the per-connection draws.
+const TAG_FAULT_ROLL: u64 = 0xC4A0_0001;
+const TAG_SPLIT_ROLL: u64 = 0xC4A0_0002;
+const TAG_THROTTLE_ROLL: u64 = 0xC4A0_0003;
+const TAG_DIRECTION: u64 = 0xC4A0_0004;
+const TAG_BYTE_POINT: u64 = 0xC4A0_0005;
+/// Tag for the garbage byte stream itself (used by the proxy).
+pub(crate) const TAG_GARBAGE_BYTES: u64 = 0xC4A0_0006;
+
+impl PlanConfig {
+    /// The seed all of connection `conn`'s draws derive from.
+    pub(crate) fn conn_seed(&self, conn: u64) -> Seed {
+        Seed::new(self.seed).derive(conn)
+    }
+
+    /// Draws connection `conn`'s plan. Pure and deterministic: the same
+    /// `(config, conn)` always yields the same plan.
+    pub fn plan_for(&self, conn: u64) -> ConnPlan {
+        let s = self.conn_seed(conn);
+        let roll = (s.prf1(TAG_FAULT_ROLL) % 1000) as u32;
+        let dir = if s.prf1(TAG_DIRECTION) & 1 == 0 {
+            Direction::ToServer
+        } else {
+            Direction::ToClient
+        };
+        let mut slot_end = 0u32;
+        let mut in_slot = |width: u32| {
+            let start = slot_end.min(1000);
+            slot_end = slot_end.saturating_add(width);
+            (start..slot_end.min(1000)).contains(&roll)
+        };
+        let fault = if in_slot(self.reset_immediate_pm) {
+            ConnFault::ResetImmediate
+        } else if in_slot(self.reset_midstream_pm) {
+            let window = self.reset_window_bytes.max(1);
+            ConnFault::ResetAfter {
+                dir,
+                bytes: 1 + s.prf1(TAG_BYTE_POINT) % window,
+            }
+        } else if in_slot(self.blackhole_pm) {
+            ConnFault::Blackhole
+        } else if in_slot(self.garbage_pm) {
+            ConnFault::InjectGarbage {
+                dir,
+                after_bytes: s.prf1(TAG_BYTE_POINT) % (self.garbage_window_bytes + 1),
+                len: self.garbage_len.max(1),
+            }
+        } else {
+            ConnFault::Pass
+        };
+        let shaping = Shaping {
+            split_chunk: ((s.prf1(TAG_SPLIT_ROLL) % 1000) < self.split_pm as u64)
+                .then_some(self.split_chunk.max(1)),
+            split_delay: self.split_delay,
+            throttle_bytes_per_sec: ((s.prf1(TAG_THROTTLE_ROLL) % 1000) < self.throttle_pm as u64)
+                .then_some(self.throttle_bytes_per_sec.max(1)),
+        };
+        ConnPlan {
+            conn,
+            fault,
+            shaping,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stormy() -> PlanConfig {
+        PlanConfig {
+            seed: 42,
+            reset_immediate_pm: 100,
+            reset_midstream_pm: 200,
+            blackhole_pm: 100,
+            garbage_pm: 100,
+            split_pm: 300,
+            throttle_pm: 200,
+            ..PlanConfig::default()
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a: Vec<ConnPlan> = (0..64).map(|c| stormy().plan_for(c)).collect();
+        let b: Vec<ConnPlan> = (0..64).map(|c| stormy().plan_for(c)).collect();
+        assert_eq!(a, b);
+        let other: Vec<ConnPlan> = (0..64)
+            .map(|c| {
+                PlanConfig {
+                    seed: 43,
+                    ..stormy()
+                }
+                .plan_for(c)
+            })
+            .collect();
+        assert_ne!(a, other, "different seeds draw different storms");
+    }
+
+    #[test]
+    fn per_mille_slots_land_near_their_mass() {
+        let cfg = stormy();
+        let n = 4000u64;
+        let mut immediate = 0u64;
+        let mut mid = 0u64;
+        let mut black = 0u64;
+        let mut garbage = 0u64;
+        let mut pass = 0u64;
+        for c in 0..n {
+            match cfg.plan_for(c).fault {
+                ConnFault::ResetImmediate => immediate += 1,
+                ConnFault::ResetAfter { .. } => mid += 1,
+                ConnFault::Blackhole => black += 1,
+                ConnFault::InjectGarbage { .. } => garbage += 1,
+                ConnFault::Pass => pass += 1,
+            }
+        }
+        // 10%/20%/10%/10%/50% with wide slack (PRF, not exact draws).
+        assert!((200..=600).contains(&immediate), "{immediate}");
+        assert!((500..=1100).contains(&mid), "{mid}");
+        assert!((200..=600).contains(&black), "{black}");
+        assert!((200..=600).contains(&garbage), "{garbage}");
+        assert!(pass > 1500, "{pass}");
+    }
+
+    #[test]
+    fn oversubscribed_slots_saturate_without_panicking() {
+        let cfg = PlanConfig {
+            reset_immediate_pm: 900,
+            reset_midstream_pm: 900,
+            blackhole_pm: 900,
+            ..PlanConfig::default()
+        };
+        // Every roll lands in the first two slots; the rest get no mass.
+        for c in 0..500 {
+            assert!(!matches!(
+                cfg.plan_for(c).fault,
+                ConnFault::Blackhole | ConnFault::InjectGarbage { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn midstream_resets_draw_positive_in_window_byte_points() {
+        let cfg = PlanConfig {
+            reset_midstream_pm: 1000,
+            reset_window_bytes: 32,
+            ..PlanConfig::default()
+        };
+        let mut seen_to_server = false;
+        let mut seen_to_client = false;
+        for c in 0..200 {
+            match cfg.plan_for(c).fault {
+                ConnFault::ResetAfter { dir, bytes } => {
+                    assert!((1..=32).contains(&bytes), "{bytes}");
+                    match dir {
+                        Direction::ToServer => seen_to_server = true,
+                        Direction::ToClient => seen_to_client = true,
+                    }
+                }
+                other => panic!("expected ResetAfter, got {other:?}"),
+            }
+        }
+        assert!(seen_to_server && seen_to_client, "both directions drawn");
+    }
+
+    #[test]
+    fn shaping_rolls_are_independent_of_the_fault_roll() {
+        let cfg = PlanConfig {
+            split_pm: 1000,
+            throttle_pm: 1000,
+            ..PlanConfig::default()
+        };
+        let plan = cfg.plan_for(7);
+        assert_eq!(plan.fault, ConnFault::Pass);
+        assert!(plan.shaping.is_active());
+        assert_eq!(plan.shaping.split_chunk, Some(cfg.split_chunk));
+        assert_eq!(
+            plan.shaping.throttle_bytes_per_sec,
+            Some(cfg.throttle_bytes_per_sec)
+        );
+    }
+}

@@ -150,6 +150,34 @@ impl Registry {
         histogram(out, "ftl_epoch_swap_ns", &[], &self.epoch.swap_ns);
 
         counter(out, "ftl_live_relabels_total", self.live.relabels.get());
+
+        counter(
+            out,
+            "ftl_chaos_connections_total",
+            self.chaos.connections.get(),
+        );
+        counter(out, "ftl_chaos_resets_total", self.chaos.resets.get());
+        counter(
+            out,
+            "ftl_chaos_blackholes_total",
+            self.chaos.blackholes.get(),
+        );
+        counter(out, "ftl_chaos_garbage_total", self.chaos.garbage.get());
+        counter(out, "ftl_chaos_shaped_total", self.chaos.shaped.get());
+
+        counter(out, "ftl_client_retries_total", self.client.retries.get());
+        counter(
+            out,
+            "ftl_client_reconnects_total",
+            self.client.reconnects.get(),
+        );
+        counter(out, "ftl_client_backoffs_total", self.client.backoffs.get());
+        counter(
+            out,
+            "ftl_client_deadline_exceeded_total",
+            self.client.deadline_exceeded.get(),
+        );
+        counter(out, "ftl_client_giveups_total", self.client.giveups.get());
     }
 
     /// [`render_into`](Registry::render_into) as a fresh string.

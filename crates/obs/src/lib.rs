@@ -198,6 +198,65 @@ impl LiveMetrics {
     }
 }
 
+/// Chaos-proxy fault counters (`ftl-chaos`): events *fired*, not merely
+/// planned, so a scrape accounts for exactly the faults a run injected.
+#[derive(Debug, Default)]
+pub struct ChaosMetrics {
+    /// Connections accepted by any chaos proxy in the process.
+    pub connections: Counter,
+    /// Connection resets fired (immediate + mid-stream).
+    pub resets: Counter,
+    /// Black holes engaged (accepted, never forwarded).
+    pub blackholes: Counter,
+    /// Garbage-byte splices fired.
+    pub garbage: Counter,
+    /// Connections run under split/throttle shaping.
+    pub shaped: Counter,
+}
+
+impl ChaosMetrics {
+    /// Zeroed counters (const: usable in statics).
+    pub const fn new() -> Self {
+        ChaosMetrics {
+            connections: Counter::new(),
+            resets: Counter::new(),
+            blackholes: Counter::new(),
+            garbage: Counter::new(),
+            shaped: Counter::new(),
+        }
+    }
+}
+
+/// Resilient-client counters (`ftl_server::client`): the retry loop's
+/// externally visible decisions.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Request attempts retried after an I/O error, timeout, or
+    /// retryable status.
+    pub retries: Counter,
+    /// Reconnects performed (a retry that had to re-dial).
+    pub reconnects: Counter,
+    /// Backoff sleeps taken before a retry.
+    pub backoffs: Counter,
+    /// `DeadlineExceeded` responses received.
+    pub deadline_exceeded: Counter,
+    /// Requests abandoned after exhausting every attempt.
+    pub giveups: Counter,
+}
+
+impl ClientMetrics {
+    /// Zeroed counters (const: usable in statics).
+    pub const fn new() -> Self {
+        ClientMetrics {
+            retries: Counter::new(),
+            reconnects: Counter::new(),
+            backoffs: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            giveups: Counter::new(),
+        }
+    }
+}
+
 /// The metric catalog: per-stage latency histograms plus the engine,
 /// epoch, and live-labeling families.
 ///
@@ -218,6 +277,10 @@ pub struct Registry {
     pub epoch: EpochMetrics,
     /// Live-labeling counters.
     pub live: LiveMetrics,
+    /// Chaos-proxy fault counters.
+    pub chaos: ChaosMetrics,
+    /// Resilient-client retry counters.
+    pub client: ClientMetrics,
 }
 
 impl Registry {
@@ -228,6 +291,8 @@ impl Registry {
             engine: EngineMetrics::new(),
             epoch: EpochMetrics::new(),
             live: LiveMetrics::new(),
+            chaos: ChaosMetrics::new(),
+            client: ClientMetrics::new(),
         }
     }
 }

@@ -49,6 +49,18 @@ pub struct Pending {
     pub queries: Vec<(VertexId, VertexId)>,
     /// When `submit` accepted it (service latency starts here).
     pub enqueued: Instant,
+    /// The request's TTL expiry, if the client set one (`ttl_ms` in the
+    /// envelope, anchored at decode time). Expired entries are answered
+    /// `DeadlineExceeded` at the window boundary instead of entering
+    /// elimination.
+    pub deadline: Option<Instant>,
+}
+
+impl Pending {
+    /// Whether the request's deadline (if any) has passed as of `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
 }
 
 /// Why a submission was refused.
@@ -192,6 +204,33 @@ impl Batcher {
         Some(std::mem::take(&mut g.pending))
     }
 
+    /// Removes and returns every queued request older than `max_age` (the
+    /// watchdog's view of "stuck": a window that should have been taken
+    /// within one window duration has sat for N of them).
+    ///
+    /// The removed entries' charges stay on the budget — exactly like
+    /// [`next_window`](Batcher::next_window), the caller answers them and
+    /// then returns the charge via [`release`](Batcher::release), so a
+    /// force-released pile can't admit a second pile mid-flush.
+    pub fn take_stale(&self, max_age: Duration) -> Vec<Pending> {
+        let now = Instant::now();
+        let mut g = self.locked();
+        let mut stale = Vec::new();
+        let mut i = 0;
+        while i < g.pending.len() {
+            let too_old = g
+                .pending
+                .get(i)
+                .is_some_and(|p| now.duration_since(p.enqueued) > max_age);
+            if too_old {
+                stale.push(g.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        stale
+    }
+
     /// Closes the batcher: future submits fail with
     /// [`SubmitError::ShuttingDown`]; executors drain what is queued and
     /// then see `None`.
@@ -214,6 +253,7 @@ mod tests {
             faults: Vec::new(),
             queries: vec![(VertexId::new(0), VertexId::new(1)); queries],
             enqueued: Instant::now(),
+            deadline: None,
         }
     }
 
@@ -269,6 +309,37 @@ mod tests {
         assert_eq!(b.submit(pending(1)), Err(SubmitError::ShuttingDown));
         assert_eq!(b.next_window().map(|w| w.len()), Some(1));
         assert!(b.next_window().is_none());
+    }
+
+    #[test]
+    fn take_stale_removes_old_entries_but_keeps_their_charge() {
+        let b = Batcher::new(100, Duration::ZERO);
+        let old = Pending {
+            enqueued: Instant::now() - Duration::from_millis(50),
+            ..pending(3)
+        };
+        b.submit(old).unwrap();
+        b.submit(pending(2)).unwrap();
+        let stale = b.take_stale(Duration::from_millis(10));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale.first().map(|p| p.queries.len()), Some(3));
+        // The charge is NOT released by the take — the watchdog releases
+        // it after answering, like an executor would.
+        assert_eq!(b.pending_queries(), 5);
+        b.release(stale.iter().map(Batcher::charge).sum());
+        assert_eq!(b.pending_queries(), 2);
+        // The fresh entry is still queued for a real window.
+        assert_eq!(b.next_window().map(|w| w.len()), Some(1));
+    }
+
+    #[test]
+    fn expired_at_tracks_the_deadline() {
+        let now = Instant::now();
+        let mut p = pending(1);
+        assert!(!p.expired_at(now), "no deadline never expires");
+        p.deadline = Some(now + Duration::from_secs(1));
+        assert!(!p.expired_at(now));
+        assert!(p.expired_at(now + Duration::from_secs(2)));
     }
 
     #[test]

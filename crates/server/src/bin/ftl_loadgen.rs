@@ -28,6 +28,10 @@ struct Args {
     queries: usize,
     loadgen_seed: u64,
     scrape_delay_ms: u64,
+    ttl_ms: u32,
+    max_retries: usize,
+    request_timeout_ms: u64,
+    run_deadline_secs: u64,
 }
 
 impl Default for Args {
@@ -43,6 +47,10 @@ impl Default for Args {
             queries: 16,
             loadgen_seed: 1,
             scrape_delay_ms: 0,
+            ttl_ms: 0,
+            max_retries: 10_000,
+            request_timeout_ms: 10_000,
+            run_deadline_secs: 0,
         }
     }
 }
@@ -63,13 +71,26 @@ fn parse_args() -> Result<Args, String> {
             "--queries" => args.queries = parse(&value("--queries")?)?,
             "--loadgen-seed" => args.loadgen_seed = parse(&value("--loadgen-seed")?)?,
             "--scrape-delay-ms" => args.scrape_delay_ms = parse(&value("--scrape-delay-ms")?)?,
+            "--ttl-ms" => args.ttl_ms = parse(&value("--ttl-ms")?)?,
+            "--max-retries" => args.max_retries = parse(&value("--max-retries")?)?,
+            "--request-timeout-ms" => {
+                args.request_timeout_ms = parse(&value("--request-timeout-ms")?)?;
+            }
+            "--run-deadline-secs" => {
+                args.run_deadline_secs = parse(&value("--run-deadline-secs")?)?;
+            }
             "--help" | "-h" => {
                 println!(
                     "ftl-loadgen [--addr A] [--graph SPEC] [--seed N] [--fault-sets N]\n\
                      \x20           [--faults-per-set N] [--clients N] [--requests N]\n\
                      \x20           [--queries N] [--loadgen-seed N] [--scrape-delay-ms N]\n\
+                     \x20           [--ttl-ms N] [--max-retries N] [--request-timeout-ms N]\n\
+                     \x20           [--run-deadline-secs N]\n\
                      \x20           (--scrape-delay-ms: scrape server metrics that long\n\
-                     \x20            into the run and print the per-stage latency table)"
+                     \x20            into the run and print the per-stage latency table;\n\
+                     \x20            --ttl-ms: stamp request TTLs; --run-deadline-secs:\n\
+                     \x20            hard wall-clock bound on the whole run, exit 3 on\n\
+                     \x20            timeout; 0 = unbounded)"
                 );
                 std::process::exit(0);
             }
@@ -83,7 +104,7 @@ fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
     raw.parse().map_err(|_| format!("bad value `{raw}`"))
 }
 
-fn run() -> Result<bool, String> {
+fn run() -> Result<Outcome, String> {
     let args = parse_args()?;
     let addr = args
         .addr
@@ -125,7 +146,10 @@ fn run() -> Result<bool, String> {
             requests_per_client: args.requests,
             queries_per_request: args.queries,
             seed: args.loadgen_seed,
-            ..LoadgenConfig::default()
+            ttl_ms: args.ttl_ms,
+            max_busy_retries: args.max_retries,
+            request_timeout: std::time::Duration::from_millis(args.request_timeout_ms),
+            run_deadline: std::time::Duration::from_secs(args.run_deadline_secs),
         },
     );
     let scrape = scraper.map(|j| match j.join() {
@@ -153,12 +177,29 @@ fn run() -> Result<bool, String> {
         report.shutdown_notices,
         report.io_errors
     );
+    println!(
+        "{} retries, {} reconnects, {} deadline rejects",
+        report.retries, report.reconnects, report.deadline_rejects
+    );
     match scrape {
         Some(Ok(text)) => print_stage_table(&text, args.scrape_delay_ms),
         Some(Err(e)) => eprintln!("ftl-loadgen: {e}"),
         None => {}
     }
-    Ok(report.mismatches == 0)
+    if report.timed_out {
+        return Ok(Outcome::TimedOut);
+    }
+    Ok(if report.mismatches == 0 {
+        Outcome::Clean
+    } else {
+        Outcome::Mismatches
+    })
+}
+
+enum Outcome {
+    Clean,
+    Mismatches,
+    TimedOut,
 }
 
 /// Prints the per-stage latency breakdown from a mid-run scrape.
@@ -200,10 +241,14 @@ fn fmt_ns(ns: u64) -> String {
 
 fn main() {
     match run() {
-        Ok(true) => {}
-        Ok(false) => {
+        Ok(Outcome::Clean) => {}
+        Ok(Outcome::Mismatches) => {
             eprintln!("ftl-loadgen: MISMATCHES against BFS ground truth");
             std::process::exit(1);
+        }
+        Ok(Outcome::TimedOut) => {
+            eprintln!("ftl-loadgen: TIMEOUT — global run deadline passed before completion");
+            std::process::exit(3);
         }
         Err(e) => {
             eprintln!("ftl-loadgen: {e}");

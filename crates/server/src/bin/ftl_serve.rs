@@ -29,6 +29,7 @@ struct Args {
     workers: usize,
     window_us: u64,
     budget: usize,
+    watchdog_factor: u32,
     duration_secs: u64,
     stats_interval: u64,
 }
@@ -45,6 +46,7 @@ impl Default for Args {
             workers: 2,
             window_us: 500,
             budget: 1 << 16,
+            watchdog_factor: 16,
             duration_secs: 10,
             stats_interval: 0,
         }
@@ -66,12 +68,15 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse(&value("--workers")?)?,
             "--window-us" => args.window_us = parse(&value("--window-us")?)?,
             "--budget" => args.budget = parse(&value("--budget")?)?,
+            "--watchdog-factor" => args.watchdog_factor = parse(&value("--watchdog-factor")?)?,
             "--duration-secs" => args.duration_secs = parse(&value("--duration-secs")?)?,
             "--stats-interval" => args.stats_interval = parse(&value("--stats-interval")?)?,
             "--help" | "-h" => {
                 println!(
                     "ftl-serve [--addr A] [--graph SPEC] [--seed N] [--width B] [--shards N]\n\
                      \x20         [--executors N] [--workers N] [--window-us N] [--budget N]\n\
+                     \x20         [--watchdog-factor N] (force-release requests stuck longer\n\
+                     \x20          than N accumulation windows; 0 = no watchdog)\n\
                      \x20         [--duration-secs N]   (0 = run until Enter on stdin)\n\
                      \x20         [--stats-interval S]  (dump the metrics exposition to\n\
                      \x20          stdout every S seconds while serving; 0 = off)"
@@ -117,6 +122,7 @@ fn run() -> Result<(), String> {
         engine_workers: args.workers,
         window: Duration::from_micros(args.window_us),
         pending_budget: args.budget,
+        watchdog_factor: args.watchdog_factor,
         ..ServerConfig::default()
     };
     let handle = Server::spawn(

@@ -45,6 +45,10 @@ pub enum FrameError {
     Closed,
     /// The caller's stop flag was raised while waiting for bytes.
     Stopped,
+    /// The caller's deadline passed while waiting for bytes
+    /// ([`read_frame_deadline`]). The stream may hold a partial frame and
+    /// must not be reused for framing.
+    TimedOut,
     /// The stream ended mid-frame.
     Truncated,
     /// The declared frame length exceeds the configured ceiling.
@@ -65,6 +69,7 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Closed => write!(f, "peer closed the stream"),
             FrameError::Stopped => write!(f, "stopped while waiting for a frame"),
+            FrameError::TimedOut => write!(f, "deadline passed while waiting for a frame"),
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
             FrameError::Oversized { len, max } => {
                 write!(f, "declared frame length {len} exceeds the ceiling {max}")
@@ -102,8 +107,35 @@ pub fn read_frame(
     max_bytes: usize,
     stop: &AtomicBool,
 ) -> Result<Vec<u8>, FrameError> {
+    read_frame_with(r, max_bytes, &mut || {
+        stop.load(Ordering::Relaxed).then_some(FrameError::Stopped)
+    })
+}
+
+/// Reads one frame like [`read_frame`], but gives up at a wall-clock
+/// `deadline` instead of on a stop flag — the client-side shape of a
+/// per-request timeout. The socket still needs a short read timeout for
+/// the deadline to be observed promptly.
+///
+/// A [`FrameError::TimedOut`] return means the stream may hold a partial
+/// frame: the caller must drop the connection, not retry the read.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    max_bytes: usize,
+    deadline: std::time::Instant,
+) -> Result<Vec<u8>, FrameError> {
+    read_frame_with(r, max_bytes, &mut || {
+        (std::time::Instant::now() >= deadline).then_some(FrameError::TimedOut)
+    })
+}
+
+fn read_frame_with(
+    r: &mut impl Read,
+    max_bytes: usize,
+    give_up: &mut impl FnMut() -> Option<FrameError>,
+) -> Result<Vec<u8>, FrameError> {
     let mut len_buf = [0u8; 4];
-    read_full(r, &mut len_buf, stop, true)?;
+    read_full(r, &mut len_buf, give_up, true)?;
     let len = u32::from_le_bytes(len_buf);
     if len as usize > max_bytes {
         return Err(FrameError::Oversized {
@@ -112,7 +144,7 @@ pub fn read_frame(
         });
     }
     let mut body = vec![0u8; len as usize];
-    read_full(r, &mut body, stop, false)?;
+    read_full(r, &mut body, give_up, false)?;
     Ok(body)
 }
 
@@ -121,13 +153,13 @@ pub fn read_frame(
 fn read_full(
     r: &mut impl Read,
     buf: &mut [u8],
-    stop: &AtomicBool,
+    give_up: &mut impl FnMut() -> Option<FrameError>,
     at_boundary: bool,
 ) -> Result<(), FrameError> {
     let mut filled = 0;
     while filled < buf.len() {
-        if stop.load(Ordering::Relaxed) {
-            return Err(FrameError::Stopped);
+        if let Some(e) = give_up() {
+            return Err(e);
         }
         let Some(rest) = buf.get_mut(filled..) else {
             return Err(FrameError::Io(ErrorKind::InvalidInput));
@@ -163,7 +195,20 @@ pub struct QueryRequestFrame {
     /// the wire: the decoder rejects zero-query requests as malformed, so
     /// admission control always has something to charge.
     pub queries: Vec<(VertexId, VertexId)>,
+    /// Time-to-live in milliseconds, measured from the server decoding the
+    /// frame. `0` means "no deadline" and encodes exactly as the original
+    /// envelope (no trailing extension), so old decoders keep working; a
+    /// non-zero TTL rides in a versioned trailing extension (see
+    /// `docs/serving.md`). A request still queued when its TTL expires is
+    /// answered with [`ResponseStatus::DeadlineExceeded`] instead of
+    /// burning an elimination.
+    pub ttl_ms: u32,
 }
+
+/// The envelope-extension version byte introducing the TTL field. The
+/// base request payload is unversioned (it predates extensions); any
+/// trailing bytes must start with a known extension version.
+const REQUEST_EXT_TTL: u64 = 2;
 
 impl WireLabel for QueryRequestFrame {
     const KIND: LabelKind = LabelKind::QueryRequest;
@@ -179,6 +224,12 @@ impl WireLabel for QueryRequestFrame {
         for (s, t) in &self.queries {
             w.write_word(s.index() as u64, 32);
             w.write_word(t.index() as u64, 32);
+        }
+        // TTL rides in a trailing extension only when set: the common
+        // no-deadline encoding stays bit-identical to the v1 envelope.
+        if self.ttl_ms != 0 {
+            w.write_word(REQUEST_EXT_TTL, 8);
+            w.write_word(self.ttl_ms as u64, 32);
         }
     }
 
@@ -216,17 +267,31 @@ impl WireLabel for QueryRequestFrame {
             let t = VertexId::new(r.read_word(32)? as usize);
             queries.push((s, t));
         }
+        // Version-compat: a v1 encoder stops here (remaining() == 0 —
+        // the wire header's exact bit length makes this check sound). A
+        // TTL-aware encoder appends the extension-version byte and the
+        // TTL; anything else trailing is a framing error, not padding.
+        let ttl_ms = if r.remaining() == 0 {
+            0
+        } else {
+            match r.read_word(8)? {
+                REQUEST_EXT_TTL => r.read_word(32)? as u32,
+                _ => return Err(WireError::Malformed("unknown request envelope extension")),
+            }
+        };
         Ok(QueryRequestFrame {
             request_id,
             tenant_id,
             faults,
             queries,
+            ttl_ms,
         })
     }
 }
 
 /// The outcome carried by a [`QueryResponseFrame`]. Status codes on the
-/// wire: 0 = Ok, 1 = ServerBusy, 2 = EngineFailed, 3 = ShuttingDown.
+/// wire: 0 = Ok, 1 = ServerBusy, 2 = EngineFailed, 3 = ShuttingDown,
+/// 4 = DeadlineExceeded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResponseStatus {
     /// All queries answered; one connectivity bit per query, in request
@@ -245,6 +310,10 @@ pub enum ResponseStatus {
     EngineFailed,
     /// The server is draining; no new work is accepted.
     ShuttingDown,
+    /// The request's TTL expired before execution (either caught at the
+    /// window boundary or force-released by the batcher watchdog). No
+    /// elimination was spent; the caller may retry with a fresh deadline.
+    DeadlineExceeded,
 }
 
 /// One response, demuxed back to its connection by `request_id`.
@@ -280,6 +349,7 @@ impl WireLabel for QueryResponseFrame {
             }
             ResponseStatus::EngineFailed => w.write_word(2, 8),
             ResponseStatus::ShuttingDown => w.write_word(3, 8),
+            ResponseStatus::DeadlineExceeded => w.write_word(4, 8),
         }
     }
 
@@ -307,6 +377,7 @@ impl WireLabel for QueryResponseFrame {
             },
             2 => ResponseStatus::EngineFailed,
             3 => ResponseStatus::ShuttingDown,
+            4 => ResponseStatus::DeadlineExceeded,
             _ => return Err(WireError::Malformed("unknown response status")),
         };
         Ok(QueryResponseFrame {
@@ -401,13 +472,82 @@ mod tests {
                 (VertexId::new(0), VertexId::new(9)),
                 (VertexId::new(4), VertexId::new(4)),
             ],
+            ttl_ms: 0,
         }
+    }
+
+    /// Encodes `r`'s payload exactly as a v1 (pre-TTL) encoder did:
+    /// no trailing extension, whatever `ttl_ms` says.
+    fn encode_v1(r: &QueryRequestFrame) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.write_word(r.request_id, 64);
+        w.write_word(r.tenant_id as u64, 32);
+        w.write_word(r.faults.len() as u64, 32);
+        for e in &r.faults {
+            w.write_word(e.index() as u64, 32);
+        }
+        w.write_word(r.queries.len() as u64, 32);
+        for (s, t) in &r.queries {
+            w.write_word(s.index() as u64, 32);
+            w.write_word(t.index() as u64, 32);
+        }
+        w.finish(LabelKind::QueryRequest)
     }
 
     #[test]
     fn request_roundtrip() {
         let r = req();
         assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn ttl_roundtrips_and_zero_ttl_stays_v1_compatible() {
+        let with_ttl = QueryRequestFrame {
+            ttl_ms: 1500,
+            ..req()
+        };
+        assert_eq!(
+            QueryRequestFrame::from_wire(&with_ttl.to_wire()).unwrap(),
+            with_ttl
+        );
+        // ttl_ms == 0 encodes bit-identically to a v1 encoder: an old
+        // decoder never sees the extension unless a deadline is set.
+        assert_eq!(req().to_wire(), encode_v1(&req()));
+    }
+
+    #[test]
+    fn v1_encoding_decodes_with_no_deadline() {
+        // The version-compat path: frames from encoders that predate the
+        // TTL extension decode as ttl_ms = 0 ("no deadline").
+        let decoded = QueryRequestFrame::from_wire(&encode_v1(&req())).unwrap();
+        assert_eq!(decoded, req());
+        assert_eq!(decoded.ttl_ms, 0);
+    }
+
+    #[test]
+    fn unknown_envelope_extension_rejected() {
+        // Trailing bytes that don't start with a known extension version
+        // are a framing error, not ignorable padding: silently skipping
+        // them would let a desynced stream masquerade as valid requests.
+        let mut w = WireWriter::new();
+        let r = req();
+        w.write_word(r.request_id, 64);
+        w.write_word(r.tenant_id as u64, 32);
+        w.write_word(r.faults.len() as u64, 32);
+        for e in &r.faults {
+            w.write_word(e.index() as u64, 32);
+        }
+        w.write_word(r.queries.len() as u64, 32);
+        for (s, t) in &r.queries {
+            w.write_word(s.index() as u64, 32);
+            w.write_word(t.index() as u64, 32);
+        }
+        w.write_word(9, 8); // not a known extension version
+        w.write_word(1500, 32);
+        assert_eq!(
+            QueryRequestFrame::from_wire(&w.finish(LabelKind::QueryRequest)),
+            Err(WireError::Malformed("unknown request envelope extension"))
+        );
     }
 
     #[test]
@@ -421,6 +561,7 @@ mod tests {
             },
             ResponseStatus::EngineFailed,
             ResponseStatus::ShuttingDown,
+            ResponseStatus::DeadlineExceeded,
         ] {
             let f = QueryResponseFrame {
                 request_id: 9,
@@ -456,6 +597,7 @@ mod tests {
             tenant_id: 0,
             faults: vec![EdgeId::new(2)],
             queries: Vec::new(),
+            ttl_ms: 0,
         };
         assert_eq!(
             QueryRequestFrame::from_wire(&zero.to_wire()),

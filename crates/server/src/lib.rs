@@ -26,9 +26,14 @@
 //! * [`stats`] — per-tenant counters (requests, queries, rejects) with
 //!   nearest-rank p50/p99 service latency, plus server-wide batch and
 //!   error counters.
+//! * [`client`] — the resilient client: per-request deadlines, capped
+//!   exponential backoff with seeded jitter, reconnect-and-retry (safe:
+//!   queries are pure and responses are request-id-keyed).
 //! * [`loadgen`] — a loopback load-generating client with a BFS
 //!   [`loadgen::ConnectivityOracle`], used by the `ftl-loadgen` binary,
-//!   the loopback tests, and the `bench_pr8` scenario.
+//!   the loopback tests, and the `bench_pr8` scenario. Built on
+//!   [`client::ResilientClient`], with a global run deadline so a stalled
+//!   server can never hang a run.
 //! * [`spec`] — the tiny graph/fault-set spec language (`grid:16x16`,
 //!   `er:1024:8`) that lets `ftl-serve` and `ftl-loadgen` agree on a
 //!   topology from the command line.
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batcher;
+pub mod client;
 pub mod frame;
 pub mod loadgen;
 mod locked;
@@ -49,6 +55,10 @@ pub mod server;
 pub mod spec;
 pub mod stats;
 
+pub use client::{
+    AttemptError, AttemptLog, BackoffConfig, BackoffSchedule, ClientConfig, QueryError, QueryReply,
+    ResilientClient,
+};
 pub use frame::{
     FrameError, MetricsRequestFrame, MetricsResponseFrame, QueryRequestFrame, QueryResponseFrame,
     ResponseStatus, MAX_FAULTS_PER_REQUEST, MAX_FRAME_BYTES_DEFAULT, MAX_METRICS_BYTES,

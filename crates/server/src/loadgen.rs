@@ -5,12 +5,21 @@
 //! [`ConnectivityOracle`] — plain BFS connected components on `G \ F` —
 //! so a loadgen run is simultaneously a throughput measurement and an
 //! end-to-end correctness audit of the whole stack (framing, batching,
-//! grouping, demux, engine, labels). `ServerBusy` responses are retried
-//! with a small backoff and counted, never silently dropped.
+//! grouping, demux, engine, labels). Each worker drives a
+//! [`ResilientClient`], so `ServerBusy` and `DeadlineExceeded` answers
+//! are retried with capped jittered backoff, I/O errors reconnect, and
+//! every retry/reconnect is counted — never silently dropped.
+//!
+//! A run can carry a **global deadline**
+//! ([`LoadgenConfig::run_deadline`]): a watcher raises a stop flag at the
+//! bound and every in-flight request's attempt loop observes it, so a
+//! stalled or black-holed server can never hang a run — it ends with
+//! [`LoadgenReport::timed_out`] set, which the `ftl-loadgen` binary turns
+//! into a typed non-zero exit.
 
+use crate::client::{AttemptError, BackoffConfig, ClientConfig, ResilientClient};
 use crate::frame::{
-    read_frame, write_frame, MetricsRequestFrame, MetricsResponseFrame, QueryRequestFrame,
-    QueryResponseFrame, ResponseStatus, MAX_FRAME_BYTES_DEFAULT,
+    read_frame, write_frame, MetricsRequestFrame, MetricsResponseFrame, MAX_FRAME_BYTES_DEFAULT,
 };
 use ftl_engine::percentile_nearest_rank;
 use ftl_graph::traversal::{connected_components, forbidden_mask};
@@ -66,9 +75,18 @@ pub struct LoadgenConfig {
     pub queries_per_request: usize,
     /// PRNG seed (per-client streams are derived from it).
     pub seed: u64,
-    /// Most times one request is retried through `ServerBusy` before the
-    /// client gives up and counts it unserved.
+    /// Most times one request is retried (through `ServerBusy`,
+    /// `DeadlineExceeded`, or an I/O error + reconnect) before the client
+    /// gives up and counts it unserved.
     pub max_busy_retries: usize,
+    /// TTL stamped into every request envelope (milliseconds; 0 = none).
+    pub ttl_ms: u32,
+    /// Global wall-clock bound on the whole run (`ZERO` = unbounded).
+    /// When it passes, workers stop between requests *and* mid-retry, and
+    /// the report comes back with [`LoadgenReport::timed_out`] set.
+    pub run_deadline: Duration,
+    /// Bound on one request attempt (send + wait for the response).
+    pub request_timeout: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -79,6 +97,9 @@ impl Default for LoadgenConfig {
             queries_per_request: 16,
             seed: 1,
             max_busy_retries: 10_000,
+            ttl_ms: 0,
+            run_deadline: Duration::ZERO,
+            request_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -100,8 +121,17 @@ pub struct LoadgenReport {
     pub engine_failures: u64,
     /// `ShuttingDown` responses.
     pub shutdown_notices: u64,
-    /// Socket/protocol errors on the client side.
+    /// Requests dropped after exhausting I/O retries (server unreachable
+    /// or persistently desynced).
     pub io_errors: u64,
+    /// Attempts beyond the first, any cause (busy, deadline, I/O).
+    pub retries: u64,
+    /// Fresh connections established after a worker's first.
+    pub reconnects: u64,
+    /// `DeadlineExceeded` answers observed (each retried).
+    pub deadline_rejects: u64,
+    /// Whether the global run deadline cut the run short.
+    pub timed_out: bool,
     /// Wall-clock of the whole run, nanoseconds.
     pub wall_ns: u64,
     /// Nearest-rank median end-to-end request latency, milliseconds.
@@ -122,6 +152,10 @@ struct ClientOutcome {
     engine_failures: u64,
     shutdown_notices: u64,
     io_errors: u64,
+    retries: u64,
+    reconnects: u64,
+    deadline_rejects: u64,
+    timed_out: bool,
     latencies_ns: Vec<u64>,
 }
 
@@ -137,13 +171,16 @@ pub fn run_loadgen(
     let sets: Arc<Vec<Vec<EdgeId>>> = Arc::new(fault_sets.to_vec());
     let n = g.num_vertices();
     let started = Instant::now();
+    // The global run deadline: an instant every worker's retry loop
+    // checks, so even a black-holed server can't hang the run.
+    let give_up = (!config.run_deadline.is_zero()).then(|| started + config.run_deadline);
     let mut joins = Vec::with_capacity(config.clients);
     for c in 0..config.clients {
         let oracle = Arc::clone(&oracle);
         let sets = Arc::clone(&sets);
         let spawned = std::thread::Builder::new()
             .name(format!("ftl-load-{c}"))
-            .spawn(move || run_client(c, addr, n, &oracle, &sets, config));
+            .spawn(move || run_client(c, addr, n, &oracle, &sets, config, give_up));
         joins.push(spawned);
     }
     let mut report = LoadgenReport::default();
@@ -166,6 +203,10 @@ pub fn run_loadgen(
         report.engine_failures += outcome.engine_failures;
         report.shutdown_notices += outcome.shutdown_notices;
         report.io_errors += outcome.io_errors;
+        report.retries += outcome.retries;
+        report.reconnects += outcome.reconnects;
+        report.deadline_rejects += outcome.deadline_rejects;
+        report.timed_out |= outcome.timed_out;
         latencies.extend(outcome.latencies_ns.iter().map(|&ns| ns as f64));
     }
     report.wall_ns = started.elapsed().as_nanos() as u64;
@@ -287,23 +328,33 @@ fn run_client(
     oracle: &ConnectivityOracle,
     sets: &[Vec<EdgeId>],
     config: LoadgenConfig,
+    give_up: Option<Instant>,
 ) -> ClientOutcome {
     let mut out = ClientOutcome::default();
-    let Ok(mut stream) = TcpStream::connect(addr) else {
-        out.io_errors += 1;
-        return out;
-    };
-    let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .is_err()
-    {
-        out.io_errors += 1;
-        return out;
-    }
-    let never_stop = AtomicBool::new(false);
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: config.request_timeout,
+            max_attempts: config
+                .max_busy_retries
+                .saturating_add(1)
+                .min(u32::MAX as usize) as u32,
+            backoff: BackoffConfig {
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(5),
+                // Every worker jitters differently, deterministically.
+                seed: config.seed ^ ((id as u64) << 32 | 0xBAC0_FF01),
+            },
+            ttl_ms: config.ttl_ms,
+        },
+    );
     let mut state = splitmix64(config.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    'requests: for r in 0..config.requests_per_client {
+    'requests: for _ in 0..config.requests_per_client {
+        if give_up.is_some_and(|hard| Instant::now() >= hard) {
+            out.timed_out = true;
+            break 'requests;
+        }
         state = splitmix64(state);
         let set_idx = if sets.is_empty() {
             0
@@ -319,64 +370,54 @@ fn run_client(
             let t = (state % num_vertices.max(1) as u64) as usize;
             queries.push((VertexId::new(s), VertexId::new(t)));
         }
-        let request = QueryRequestFrame {
-            request_id: ((id as u64) << 32) | r as u64,
-            tenant_id: id as u32,
-            faults,
-            queries: queries.clone(),
-        };
-        let record = request.to_wire();
-        let mut retries = 0usize;
         let sent_at = Instant::now();
-        loop {
-            if write_frame(&mut stream, &record).is_err() {
-                out.io_errors += 1;
-                break 'requests;
-            }
-            let Ok(body) = read_frame(&mut stream, MAX_FRAME_BYTES_DEFAULT, &never_stop) else {
-                out.io_errors += 1;
-                break 'requests;
-            };
-            let Ok(resp) = QueryResponseFrame::from_wire(&body) else {
-                out.io_errors += 1;
-                break 'requests;
-            };
-            if resp.request_id != request.request_id {
-                out.io_errors += 1;
-                break 'requests;
-            }
-            match resp.status {
-                ResponseStatus::Ok(answers) => {
-                    out.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
-                    out.requests_ok += 1;
-                    if answers.len() != queries.len() {
+        match client.query_before(id as u32, &faults, &queries, give_up) {
+            Ok(reply) => {
+                out.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                out.requests_ok += 1;
+                out.busy_rejects += reply.log.busy as u64;
+                out.deadline_rejects += reply.log.deadline_exceeded as u64;
+                out.retries += reply.log.attempts.saturating_sub(1) as u64;
+                out.reconnects += reply.log.reconnects as u64;
+                if reply.answers.len() != queries.len() {
+                    out.mismatches += 1;
+                    continue;
+                }
+                for (&(s, t), &got) in queries.iter().zip(&reply.answers) {
+                    out.queries_ok += 1;
+                    if got != oracle.connected(set_idx, s, t) {
                         out.mismatches += 1;
-                        break;
                     }
-                    for (&(s, t), &got) in queries.iter().zip(&answers) {
-                        out.queries_ok += 1;
-                        if got != oracle.connected(set_idx, s, t) {
-                            out.mismatches += 1;
-                        }
-                    }
-                    break;
                 }
-                ResponseStatus::ServerBusy { .. } => {
-                    out.busy_rejects += 1;
-                    retries += 1;
-                    if retries > config.max_busy_retries {
-                        out.unserved += 1;
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_micros(200));
-                }
-                ResponseStatus::EngineFailed => {
-                    out.engine_failures += 1;
-                    break;
-                }
-                ResponseStatus::ShuttingDown => {
-                    out.shutdown_notices += 1;
+            }
+            Err(err) => {
+                out.busy_rejects += err.log.busy as u64;
+                out.deadline_rejects += err.log.deadline_exceeded as u64;
+                out.retries += err.log.attempts.saturating_sub(1) as u64;
+                out.reconnects += err.log.reconnects as u64;
+                if give_up.is_some_and(|hard| Instant::now() >= hard) {
+                    out.timed_out = true;
+                    out.unserved += 1;
                     break 'requests;
+                }
+                match err.last {
+                    AttemptError::Busy | AttemptError::DeadlineExceeded => {
+                        out.unserved += 1;
+                    }
+                    AttemptError::EngineFailed => {
+                        out.engine_failures += 1;
+                    }
+                    AttemptError::ShuttingDown => {
+                        out.shutdown_notices += 1;
+                        break 'requests;
+                    }
+                    AttemptError::Io(_) | AttemptError::Protocol(_) => {
+                        // The client already retried and reconnected up to
+                        // its attempt budget; a give-up here means the
+                        // server is genuinely unreachable.
+                        out.io_errors += 1;
+                        break 'requests;
+                    }
                 }
             }
         }

@@ -11,10 +11,18 @@
 //! behind a poison-recovering slot (`locked::Slot`), because two executors can finish windows carrying
 //! responses for the *same* connection concurrently — the slot makes each
 //! response frame atomic on the stream.
+//!
+//! Frame atomicity survives *failure*, too: a write that errors mid-frame
+//! (a timeout against a stalled reader, a reset) may have left a torn
+//! frame on the stream, so the writer latches a dead flag under the same
+//! slot and every later [`send`](ConnWriter::send) is refused without
+//! touching the socket. The torn frame is therefore the last bytes the
+//! client can ever observe — no complete-looking frame can follow garbage.
 
 use crate::frame::write_frame;
 use crate::locked::Slot;
 use ftl_seeded::DetHashMap;
+use std::io::Write;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,10 +30,38 @@ use std::time::Duration;
 
 const SHARDS: usize = 16;
 
+/// The write half plus its torn-frame latch, guarded as one unit so the
+/// flag can never lag the write that poisoned the stream.
+#[derive(Debug)]
+struct WriteState<S> {
+    stream: S,
+    dead: bool,
+}
+
+/// Sends one frame, refusing if an earlier send failed (the stream may
+/// carry a torn frame) and latching the dead flag if this one fails.
+/// Generic over the sink so the every-byte-boundary kill test below can
+/// drive it without a socket.
+fn send_locked<S: Write>(state: &mut WriteState<S>, record: &[u8]) -> std::io::Result<()> {
+    if state.dead {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "write half poisoned by an earlier failed write",
+        ));
+    }
+    match write_frame(&mut state.stream, record) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            state.dead = true;
+            Err(e)
+        }
+    }
+}
+
 /// The write half of one registered connection.
 #[derive(Debug)]
 pub struct ConnWriter {
-    stream: Slot<TcpStream>,
+    state: Slot<WriteState<TcpStream>>,
 }
 
 impl ConnWriter {
@@ -36,17 +72,18 @@ impl ConnWriter {
     /// client that stopped reading its responses makes this return a
     /// timeout error instead of blocking the calling executor forever.
     /// A timed-out write may have sent a partial frame — the stream is
-    /// unrecoverable afterwards and the caller must drop the connection.
+    /// unrecoverable afterwards, so this writer refuses every subsequent
+    /// send (`BrokenPipe`) and the caller must drop the connection.
     pub fn send(&self, record: &[u8]) -> std::io::Result<()> {
-        self.stream.with(|s| write_frame(s, record))
+        self.state.with(|s| send_locked(s, record))
     }
 
     /// Shuts both halves of the socket down (best effort), so the
     /// connection's reader thread observes EOF and exits even though it
     /// holds its own clone of the stream.
     pub fn shutdown(&self) {
-        self.stream.with(|s| {
-            let _ = s.shutdown(Shutdown::Both);
+        self.state.with(|s| {
+            let _ = s.stream.shutdown(Shutdown::Both);
         });
     }
 }
@@ -91,7 +128,10 @@ impl Registry {
         let write_half = stream.try_clone()?;
         write_half.set_write_timeout(write_timeout)?;
         let writer = Arc::new(ConnWriter {
-            stream: Slot::new(write_half),
+            state: Slot::new(WriteState {
+                stream: write_half,
+                dead: false,
+            }),
         });
         if let Some(shard) = self.shard(id) {
             shard.with(|m| m.insert(id, Arc::clone(&writer)));
@@ -120,5 +160,99 @@ impl Registry {
     /// Whether no connection is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that accepts exactly `budget` bytes and then fails every
+    /// write with `TimedOut` — the shape of a response write dying
+    /// against a stalled reader at an arbitrary byte boundary.
+    struct KillAt {
+        out: Vec<u8>,
+        budget: usize,
+    }
+
+    impl Write for KillAt {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.budget == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "peer stopped reading",
+                ));
+            }
+            let n = buf.len().min(self.budget);
+            self.out.extend_from_slice(buf.get(..n).unwrap_or(buf));
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The frame-atomicity proof: kill the write at *every* byte boundary
+    /// of a frame and check that (a) the stream holds a strict prefix of
+    /// that frame, and (b) a second send is refused without writing a
+    /// byte — so a torn frame is always the end of the stream, never
+    /// followed by something complete-looking.
+    #[test]
+    fn killed_write_never_leaves_bytes_after_a_torn_frame() {
+        let record: Vec<u8> = (0u8..32).collect();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &record).unwrap();
+
+        for cut in 0..framed.len() {
+            let mut state = WriteState {
+                stream: KillAt {
+                    out: Vec::new(),
+                    budget: cut,
+                },
+                dead: false,
+            };
+            let err = send_locked(&mut state, &record).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+            assert!(state.dead, "a failed send must latch the dead flag");
+            assert_eq!(
+                state.stream.out,
+                framed.get(..cut).unwrap_or(&framed),
+                "cut at byte {cut}: stream must hold a strict prefix of the frame"
+            );
+
+            // The second frame must be refused outright: no byte of it may
+            // appear after the torn frame, even though the sink would now
+            // accept writes again.
+            state.stream.budget = usize::MAX;
+            let refused = send_locked(&mut state, &record).unwrap_err();
+            assert_eq!(refused.kind(), std::io::ErrorKind::BrokenPipe);
+            assert_eq!(
+                state.stream.out,
+                framed.get(..cut).unwrap_or(&framed),
+                "cut at byte {cut}: refused send must not touch the stream"
+            );
+        }
+    }
+
+    /// The complement: sends that complete keep the writer healthy, and
+    /// consecutive frames land back to back.
+    #[test]
+    fn healthy_sends_stay_healthy() {
+        let record: Vec<u8> = (0u8..32).collect();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &record).unwrap();
+
+        let mut state = WriteState {
+            stream: KillAt {
+                out: Vec::new(),
+                budget: usize::MAX,
+            },
+            dead: false,
+        };
+        send_locked(&mut state, &record).unwrap();
+        send_locked(&mut state, &record).unwrap();
+        assert!(!state.dead);
+        assert_eq!(state.stream.out.len(), framed.len() * 2);
     }
 }

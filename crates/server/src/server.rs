@@ -78,6 +78,13 @@ pub struct ServerConfig {
     /// an executor thread, never co-batched connections, never shutdown.
     /// Zero disables the bound (not recommended outside tests).
     pub write_timeout: Duration,
+    /// Batcher-watchdog threshold, in multiples of
+    /// [`window`](ServerConfig::window): a queued request older than
+    /// `watchdog_factor × window` is force-released and answered
+    /// (`DeadlineExceeded` if it carried a TTL, `ServerBusy` otherwise)
+    /// instead of waiting for an executor that may be parked on a slow
+    /// client's write. Zero disables the watchdog.
+    pub watchdog_factor: u32,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +97,7 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES_DEFAULT,
             read_timeout: Duration::from_millis(5),
             write_timeout: Duration::from_secs(2),
+            watchdog_factor: 0,
         }
     }
 }
@@ -131,6 +139,7 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     acceptor: Option<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -182,6 +191,22 @@ impl Server {
                 })?
         };
 
+        let watchdog = if config.watchdog_factor > 0 {
+            let stop = Arc::clone(&stop);
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            Some(
+                std::thread::Builder::new()
+                    .name("ftl-watchdog".to_string())
+                    .spawn(move || {
+                        watchdog_loop(&stop, &batcher, &registry, &stats, config);
+                    })?,
+            )
+        } else {
+            None
+        };
+
         Ok(ServerHandle {
             addr: local,
             stop,
@@ -189,6 +214,7 @@ impl Server {
             stats,
             acceptor: Some(acceptor),
             executors,
+            watchdog,
         })
     }
 }
@@ -224,6 +250,9 @@ impl ServerHandle {
         self.batcher.close();
         for h in self.executors.drain(..) {
             let _ = h.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
         self.stats.snapshot()
     }
@@ -337,6 +366,11 @@ fn serve_connection(
             Ok(record) => match QueryRequestFrame::from_wire(&record) {
                 Ok(req) => {
                     let (request_id, tenant) = (req.request_id, req.tenant_id);
+                    // The TTL is anchored here, at decode: the server's
+                    // clock, not the client's, measures the budget.
+                    let now = Instant::now();
+                    let deadline =
+                        (req.ttl_ms > 0).then(|| now + Duration::from_millis(req.ttl_ms as u64));
                     let submitted = {
                         let _span = Span::enter(&obs.stages, Stage::Admission);
                         batcher.submit(Pending {
@@ -345,7 +379,8 @@ fn serve_connection(
                             tenant,
                             faults: req.faults,
                             queries: req.queries,
-                            enqueued: Instant::now(),
+                            enqueued: now,
+                            deadline,
                         })
                     };
                     let reject = match submitted {
@@ -402,10 +437,22 @@ fn execute_window(
         obs.stages
             .record(Stage::WindowWait, p.enqueued.elapsed().as_nanos() as u64);
     }
+    // Expired requests are answered *before* grouping: a request whose
+    // caller stopped waiting must not cost an elimination, and must not
+    // widen a shared group's fault set for the live requests batched with
+    // it.
+    let now = Instant::now();
+    for p in window.iter().filter(|p| p.expired_at(now)) {
+        stats.record_deadline_drop();
+        respond(registry, p, 0, ResponseStatus::DeadlineExceeded, stats);
+    }
     let mut by_hash: DetHashMap<u64, usize> = DetHashMap::default();
     let mut groups: Vec<FaultSetBatch> = Vec::new();
     let mut members: Vec<Vec<usize>> = Vec::new();
     for (i, p) in window.iter().enumerate() {
+        if p.expired_at(now) {
+            continue;
+        }
         let hash = canonical_fault_hash(&p.faults);
         // A canonical-hash collision between *different* fault sets must
         // not merge them; such a request gets its own unregistered group.
@@ -424,6 +471,10 @@ fn execute_window(
         }
     }
 
+    if groups.is_empty() {
+        // Every request in the window had expired — nothing to execute.
+        return;
+    }
     let engine_t0 = Instant::now();
     let resp = engine.execute_grouped(&groups);
     // Answer stage: engine time amortized per query, recorded once per
@@ -477,6 +528,55 @@ fn execute_window(
                 }
             }
         }
+    }
+}
+
+/// The batcher watchdog: force-releases requests stuck in the queue
+/// beyond `watchdog_factor ×` the accumulation window.
+///
+/// Under healthy load an executor takes every window within one window
+/// duration, so the threshold only trips when every executor is parked —
+/// in practice on response writes against clients that stopped reading
+/// (each bounded by [`ServerConfig::write_timeout`], but a window's worth
+/// of them stack). Stuck requests are answered directly from this thread:
+/// `DeadlineExceeded` when the request's TTL has expired, `ServerBusy`
+/// otherwise (the honest signal that the server could not schedule it —
+/// retryable, and both are retried by the resilient client). Their budget charge is
+/// released only after the answers are written, mirroring the executor
+/// flow so admission control never over-admits during a flush.
+fn watchdog_loop(
+    stop: &AtomicBool,
+    batcher: &Batcher,
+    registry: &Registry,
+    stats: &ServerStats,
+    config: ServerConfig,
+) {
+    let max_age = config
+        .window
+        .saturating_mul(config.watchdog_factor)
+        .max(Duration::from_millis(1));
+    let poll = (max_age / 2).max(Duration::from_millis(1));
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        let stale = batcher.take_stale(max_age);
+        if stale.is_empty() {
+            continue;
+        }
+        let now = Instant::now();
+        for p in &stale {
+            stats.record_watchdog_fire();
+            let status = if p.expired_at(now) {
+                stats.record_deadline_drop();
+                ResponseStatus::DeadlineExceeded
+            } else {
+                ResponseStatus::ServerBusy {
+                    pending: batcher.pending_queries() as u32,
+                    budget: config.pending_budget as u32,
+                }
+            };
+            respond(registry, p, 0, status, stats);
+        }
+        batcher.release(stale.iter().map(Batcher::charge).sum());
     }
 }
 

@@ -76,6 +76,12 @@ pub struct StatsSnapshot {
     pub slow_client_drops: u64,
     /// Connections accepted over the server's lifetime.
     pub connections_accepted: u64,
+    /// Requests answered `DeadlineExceeded` because their TTL expired
+    /// before execution (window-boundary expiry plus watchdog releases).
+    pub deadline_drops: u64,
+    /// Requests force-released by the batcher watchdog (stuck beyond N×
+    /// the window duration).
+    pub watchdog_fires: u64,
     /// Per-tenant breakdown, sorted by tenant id.
     pub tenants: Vec<TenantSnapshot>,
 }
@@ -97,6 +103,8 @@ pub struct ServerStats {
     frame_errors: Counter,
     slow_client_drops: Counter,
     connections_accepted: Counter,
+    deadline_drops: Counter,
+    watchdog_fires: Counter,
     tenants: Slot<DetHashMap<u32, TenantCounters>>,
 }
 
@@ -153,6 +161,17 @@ impl ServerStats {
         self.connections_accepted.inc();
     }
 
+    /// Records a request answered `DeadlineExceeded` (TTL expired before
+    /// execution).
+    pub fn record_deadline_drop(&self) {
+        self.deadline_drops.inc();
+    }
+
+    /// Records a request force-released by the batcher watchdog.
+    pub fn record_watchdog_fire(&self) {
+        self.watchdog_fires.inc();
+    }
+
     /// Snapshots every counter, summarizing latencies to p50/p99.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut tenants: Vec<TenantSnapshot> = self.tenants.with(|t| {
@@ -178,6 +197,8 @@ impl ServerStats {
             frame_errors: self.frame_errors.get(),
             slow_client_drops: self.slow_client_drops.get(),
             connections_accepted: self.connections_accepted.get(),
+            deadline_drops: self.deadline_drops.get(),
+            watchdog_fires: self.watchdog_fires.get(),
             tenants,
         }
     }
@@ -214,6 +235,16 @@ impl ServerStats {
             &mut out,
             "ftl_server_connections_total",
             self.connections_accepted.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ftl_server_deadline_drops_total",
+            self.deadline_drops.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ftl_server_watchdog_fires_total",
+            self.watchdog_fires.get(),
         );
         self.tenants.with(|t| {
             let mut ids: Vec<u32> = t.keys().copied().collect();

@@ -1,0 +1,94 @@
+//! Property tests for the resilient client's backoff schedule: the
+//! nominal curve is monotone and capped for *any* base/cap pair, every
+//! jittered delay stays inside its half-open band, and the whole
+//! schedule is a pure function of the seed — two clients built from the
+//! same config sleep identically, forever.
+
+// Test code: panicking asserts are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ftl_server::{BackoffConfig, BackoffSchedule};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn schedule(base_ns: u64, cap_ns: u64, seed: u64) -> BackoffSchedule {
+    BackoffSchedule::new(BackoffConfig {
+        base: Duration::from_nanos(base_ns),
+        cap: Duration::from_nanos(cap_ns),
+        seed,
+    })
+}
+
+proptest! {
+    /// The nominal curve never decreases, never exceeds the cap, and
+    /// once it reaches the cap it stays there — for any base/cap pair,
+    /// including degenerate ones (cap below base) and attempt counts
+    /// far past where a shift would overflow.
+    #[test]
+    fn nominal_is_monotone_and_capped(
+        base_ns in 1u64..=1_000_000_000,
+        cap_ns in 1u64..=60_000_000_000,
+        seed in any::<u64>(),
+    ) {
+        let s = schedule(base_ns, cap_ns, seed);
+        let cap = Duration::from_nanos(cap_ns);
+        let mut prev = Duration::ZERO;
+        let mut saturated = false;
+        for attempt in 0..140u32 {
+            let n = s.nominal(attempt);
+            prop_assert!(n >= prev, "nominal dipped at attempt {attempt}");
+            prop_assert!(n <= cap, "nominal exceeded the cap at attempt {attempt}");
+            if saturated {
+                prop_assert_eq!(n, cap, "nominal left the cap at attempt {}", attempt);
+            }
+            saturated |= n == cap;
+            prev = n;
+        }
+        // 140 doublings from any base >= 1ns is astronomically past any
+        // cap we generate: the tail of the curve is always saturated.
+        prop_assert!(saturated, "curve never reached the cap");
+        // Huge attempt numbers must not wrap back below the cap.
+        prop_assert_eq!(s.nominal(u32::MAX), cap);
+    }
+
+    /// Every jittered delay lands in `[nominal/2, nominal]` — full
+    /// jitter over the top half of the nominal value, never more, never
+    /// a sub-half sleep that would defeat the backoff.
+    #[test]
+    fn jitter_stays_inside_the_band(
+        base_ns in 1_000u64..=1_000_000_000,
+        cap_mul in 1u64..=4_096,
+        seed in any::<u64>(),
+    ) {
+        let cap_ns = base_ns.saturating_mul(cap_mul);
+        let s = schedule(base_ns, cap_ns, seed);
+        for attempt in 0..64u32 {
+            let nominal = s.nominal(attempt);
+            let d = s.delay(attempt);
+            prop_assert!(
+                d >= nominal / 2,
+                "attempt {attempt}: delay {d:?} below half of nominal {nominal:?}"
+            );
+            prop_assert!(
+                d <= nominal,
+                "attempt {attempt}: delay {d:?} above nominal {nominal:?}"
+            );
+        }
+    }
+
+    /// The schedule is deterministic: rebuilding it from the same config
+    /// reproduces every delay exactly. This is what makes a chaos run
+    /// replayable — client sleep patterns are part of the seed.
+    #[test]
+    fn same_config_reproduces_every_delay(
+        base_ns in 1u64..=1_000_000_000,
+        cap_ns in 1u64..=60_000_000_000,
+        seed in any::<u64>(),
+    ) {
+        let a = schedule(base_ns, cap_ns, seed);
+        let b = schedule(base_ns, cap_ns, seed);
+        for attempt in 0..96u32 {
+            prop_assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+}

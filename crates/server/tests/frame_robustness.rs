@@ -28,7 +28,27 @@ fn request(
             .iter()
             .map(|&(s, t)| (VertexId::new(s as usize), VertexId::new(t as usize)))
             .collect(),
+        ttl_ms: 0,
     }
+}
+
+/// Encodes a request exactly as a v1 (pre-TTL) encoder did: the base
+/// payload with no trailing extension.
+fn encode_v1(r: &QueryRequestFrame) -> Vec<u8> {
+    use ftl_labels::wire::{LabelKind, WireWriter};
+    let mut w = WireWriter::new();
+    w.write_word(r.request_id, 64);
+    w.write_word(r.tenant_id as u64, 32);
+    w.write_word(r.faults.len() as u64, 32);
+    for e in &r.faults {
+        w.write_word(e.index() as u64, 32);
+    }
+    w.write_word(r.queries.len() as u64, 32);
+    for (s, t) in &r.queries {
+        w.write_word(s.index() as u64, 32);
+        w.write_word(t.index() as u64, 32);
+    }
+    w.finish(LabelKind::QueryRequest)
 }
 
 proptest! {
@@ -43,6 +63,39 @@ proptest! {
     ) {
         let r = request(request_id, tenant, &faults, &queries);
         prop_assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    /// The TTL envelope extension round-trips for every TTL, and the
+    /// zero-TTL encoding is bit-identical to the v1 envelope.
+    #[test]
+    fn ttl_envelope_roundtrip(
+        request_id in any::<u64>(),
+        ttl_ms in any::<u32>(),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let r = QueryRequestFrame { ttl_ms, ..request(request_id, 3, &[5], &queries) };
+        prop_assert_eq!(QueryRequestFrame::from_wire(&r.to_wire()).unwrap(), r.clone());
+        if ttl_ms == 0 {
+            prop_assert_eq!(r.to_wire(), encode_v1(&r));
+        } else {
+            // The extension costs exactly 40 bits: version byte + TTL.
+            prop_assert!(r.to_wire().len() > encode_v1(&r).len());
+        }
+    }
+
+    /// Version compat: any frame produced by a pre-TTL encoder decodes
+    /// with `ttl_ms = 0` — old clients keep working unchanged.
+    #[test]
+    fn v1_encoders_decode_with_no_deadline(
+        request_id in any::<u64>(),
+        tenant in any::<u32>(),
+        faults in proptest::collection::vec(any::<u32>(), 0..40),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let r = request(request_id, tenant, &faults, &queries);
+        let decoded = QueryRequestFrame::from_wire(&encode_v1(&r)).unwrap();
+        prop_assert_eq!(decoded.ttl_ms, 0);
+        prop_assert_eq!(decoded, r);
     }
 
     /// Zero-query requests are malformed whatever else they carry — a
@@ -63,7 +116,7 @@ proptest! {
     fn response_roundtrip(
         request_id in any::<u64>(),
         epoch in any::<u64>(),
-        pick in 0u8..4,
+        pick in 0u8..5,
         answers in proptest::collection::vec(any::<bool>(), 0..80),
         pending in any::<u32>(),
         budget in any::<u32>(),
@@ -72,7 +125,8 @@ proptest! {
             0 => ResponseStatus::Ok(answers),
             1 => ResponseStatus::ServerBusy { pending, budget },
             2 => ResponseStatus::EngineFailed,
-            _ => ResponseStatus::ShuttingDown,
+            3 => ResponseStatus::ShuttingDown,
+            _ => ResponseStatus::DeadlineExceeded,
         };
         let f = QueryResponseFrame { request_id, epoch, status };
         prop_assert_eq!(QueryResponseFrame::from_wire(&f.to_wire()).unwrap(), f);

@@ -118,6 +118,7 @@ fn admission_control_answers_server_busy() {
         tenant_id: 9,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(0), VertexId::new(1)); 4],
+        ttl_ms: 0,
     };
     send_request(&mut stream, &filler);
     // One more query than the budget has room for: must bounce, and the
@@ -128,6 +129,7 @@ fn admission_control_answers_server_busy() {
         tenant_id: 9,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(2), VertexId::new(3))],
+        ttl_ms: 0,
     };
     send_request(&mut stream, &overflow);
 
@@ -176,6 +178,7 @@ fn shutdown_drains_in_flight_window() {
         tenant_id: 1,
         faults: vec![EdgeId::new(3)],
         queries: vec![(VertexId::new(0), VertexId::new(35))],
+        ttl_ms: 0,
     };
     send_request(&mut stream, &req);
     // Let the reader thread admit it into the (minute-long) window.
@@ -198,6 +201,226 @@ fn shutdown_drains_in_flight_window() {
     assert_eq!(resp.request_id, 77);
     assert_eq!(resp.epoch, 1, "drained on the pinned epoch");
     assert!(matches!(&resp.status, ResponseStatus::Ok(a) if a.len() == 1));
+}
+
+/// A request whose TTL expires inside the accumulation window is answered
+/// with a typed `DeadlineExceeded` before elimination — no engine work is
+/// spent on it, and a no-deadline request sharing the window is
+/// unaffected.
+#[test]
+fn expired_ttl_answered_before_elimination() {
+    let g = generators::grid(6, 6);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Expires ~295ms before the 300ms window closes.
+    let doomed = QueryRequestFrame {
+        request_id: 1,
+        tenant_id: 5,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(35)); 3],
+        ttl_ms: 5,
+    };
+    // Same fault set, no deadline: must be served untouched.
+    let live = QueryRequestFrame {
+        request_id: 2,
+        tenant_id: 5,
+        faults: vec![EdgeId::new(0)],
+        queries: vec![(VertexId::new(0), VertexId::new(35))],
+        ttl_ms: 0,
+    };
+    send_request(&mut stream, &doomed);
+    send_request(&mut stream, &live);
+    let (a, b) = (read_response(&mut stream), read_response(&mut stream));
+    let (doomed_resp, live_resp) = if a.request_id == 1 { (a, b) } else { (b, a) };
+    assert_eq!(doomed_resp.status, ResponseStatus::DeadlineExceeded);
+    assert_eq!(
+        doomed_resp.epoch, 0,
+        "expired requests never reach an engine"
+    );
+    assert!(matches!(&live_resp.status, ResponseStatus::Ok(v) if v.len() == 1));
+    let stats = handle.shutdown();
+    assert_eq!(stats.deadline_drops, 1);
+    assert_eq!(stats.requests, 1, "only the live request was served");
+    assert_eq!(
+        stats.groups, 1,
+        "the expired request must not have formed a group"
+    );
+    assert_eq!(
+        stats.watchdog_fires, 0,
+        "the executor caught this, not the watchdog"
+    );
+}
+
+/// The batcher watchdog: when the only executor is parked on a response
+/// write against a client that stopped reading, requests queued behind
+/// it sit past `watchdog_factor × window` and are force-released and
+/// answered `ServerBusy` by the watchdog thread instead of waiting for
+/// the executor to come back.
+///
+/// Parking is real TCP backpressure: the stalled client floods enough
+/// single-query requests that their responses (~30 bytes each) overflow
+/// loopback socket buffering (a few MB), so the executor blocks inside a
+/// response write for up to `write_timeout`. The timeout is finite (the
+/// production shape) so the test also exercises the recovery path — the
+/// stalled connection is eventually forfeited and the server heals.
+#[test]
+fn watchdog_force_releases_requests_stuck_behind_a_parked_executor() {
+    const FLOOD: u64 = 150_000;
+    let g = generators::grid(8, 8);
+    let handle = spawn_server(
+        &g,
+        ServerConfig {
+            executors: 1,
+            engine_workers: 0,
+            window: Duration::from_millis(20),
+            // Big enough that the flood is admitted (charge = 1/request),
+            // so `ServerBusy` can only come from the watchdog.
+            pending_budget: 1 << 20,
+            write_timeout: Duration::from_secs(1),
+            watchdog_factor: 2, // stuck = older than 40ms
+            ..ServerConfig::default()
+        },
+    );
+
+    // The stalled client floods requests and never reads a byte back.
+    // Blocking writes (no timeout): the server's reader always drains, so
+    // the full flood lands. The stream is returned (not dropped) so the
+    // connection stays open — an EOF would deregister it and instantly
+    // unblock the executor's write.
+    let addr = handle.local_addr();
+    let flooder = std::thread::spawn(move || {
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        let flood = QueryRequestFrame {
+            request_id: 0,
+            tenant_id: 1,
+            faults: vec![EdgeId::new(0)],
+            queries: vec![(VertexId::new(0), VertexId::new(1))],
+            ttl_ms: 0,
+        };
+        let record = flood.to_wire();
+        for _ in 0..FLOOD {
+            if frame::write_frame(&mut stalled, &record).is_err() {
+                break;
+            }
+        }
+        stalled
+    });
+
+    // A live client keeps asking throughout. While the executor is parked
+    // its requests sit in the batcher past the watchdog threshold and
+    // come back `ServerBusy` from the watchdog thread.
+    let mut live = TcpStream::connect(handle.local_addr()).unwrap();
+    live.set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let mut rescued = false;
+    let mut attempt = 0u64;
+    while std::time::Instant::now() < deadline {
+        attempt += 1;
+        let req = QueryRequestFrame {
+            request_id: attempt,
+            tenant_id: 2,
+            faults: vec![EdgeId::new(0)],
+            queries: vec![(VertexId::new(0), VertexId::new(63))],
+            ttl_ms: 0,
+        };
+        send_request(&mut live, &req);
+        // Bound the wait: read_frame retries through socket timeouts, so
+        // a timer flag is what actually limits it.
+        let give_up = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&give_up);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(800));
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let Ok(body) = frame::read_frame(&mut live, frame::MAX_FRAME_BYTES_DEFAULT, &give_up)
+        else {
+            // No answer yet: the request was taken into the parked window
+            // itself — the next attempt lands in the open queue.
+            continue;
+        };
+        let resp = QueryResponseFrame::from_wire(&body).unwrap();
+        if matches!(resp.status, ResponseStatus::ServerBusy { .. })
+            && handle.stats().watchdog_fires > 0
+        {
+            rescued = true;
+            break;
+        }
+    }
+    assert!(
+        rescued,
+        "watchdog never rescued a stuck request (fires = {})",
+        handle.stats().watchdog_fires
+    );
+    drop(live);
+    drop(flooder.join().unwrap());
+    // The finite write timeout means the parked executor recovers (the
+    // stalled connection is forfeited), so a graceful shutdown works.
+    let stats = handle.shutdown();
+    assert!(stats.watchdog_fires > 0);
+}
+
+/// The loadgen's global run deadline: a black-holed server (accepts, then
+/// never answers a byte) cannot hang a run — it ends at the bound with
+/// the typed `timed_out` marker instead of blocking forever.
+#[test]
+fn loadgen_run_deadline_beats_a_black_holed_server() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let hole_stop = Arc::clone(&stop);
+    let hole = std::thread::spawn(move || {
+        listener.set_nonblocking(true).unwrap();
+        let mut conns = Vec::new();
+        while !hole_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((conn, _)) => conns.push(conn),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        drop(conns);
+    });
+
+    let g = generators::grid(4, 4);
+    let started = std::time::Instant::now();
+    let report = run_loadgen(
+        addr,
+        &g,
+        &[vec![EdgeId::new(0)]],
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: 8,
+            queries_per_request: 2,
+            seed: 3,
+            run_deadline: Duration::from_secs(2),
+            ..LoadgenConfig::default()
+        },
+    );
+    let elapsed = started.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    hole.join().unwrap();
+
+    assert!(report.timed_out, "the run deadline must be reported as hit");
+    assert_eq!(report.requests_ok, 0, "a black hole answers nothing");
+    assert_eq!(report.mismatches, 0);
+    // Bounded wall-clock: deadline plus at most one attempt's grace, with
+    // slack for a loaded CI machine — nowhere near the 10s per-attempt
+    // timeout times the retry budget.
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "run took {elapsed:?}, the deadline did not bound it"
+    );
 }
 
 /// A frame that parses but is not a valid wire record closes the
@@ -273,12 +496,14 @@ fn bad_vertex_isolated_within_shared_fault_set_group() {
         tenant_id: 3,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(999_999), VertexId::new(1))],
+        ttl_ms: 0,
     };
     let good = QueryRequestFrame {
         request_id: 2,
         tenant_id: 4,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(0), VertexId::new(35))],
+        ttl_ms: 0,
     };
     send_request(&mut stream, &bad);
     send_request(&mut stream, &good);
@@ -356,6 +581,7 @@ fn stalled_reader_costs_only_its_own_connection() {
         tenant_id: 1,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(0), VertexId::new(1))],
+        ttl_ms: 0,
     };
     let record = flood.to_wire();
     for _ in 0..400_000 {
@@ -374,6 +600,7 @@ fn stalled_reader_costs_only_its_own_connection() {
         tenant_id: 2,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(0), VertexId::new(63))],
+        ttl_ms: 0,
     };
     send_request(&mut live, &good);
     let resp = read_response(&mut live);
@@ -418,12 +645,14 @@ fn bad_fault_set_isolated_to_engine_failed() {
         tenant_id: 2,
         faults: vec![EdgeId::new(999_999)],
         queries: vec![(VertexId::new(0), VertexId::new(1))],
+        ttl_ms: 0,
     };
     let good = QueryRequestFrame {
         request_id: 2,
         tenant_id: 2,
         faults: vec![EdgeId::new(0)],
         queries: vec![(VertexId::new(0), VertexId::new(35))],
+        ttl_ms: 0,
     };
     send_request(&mut stream, &bad);
     send_request(&mut stream, &good);

@@ -44,6 +44,18 @@ const DOCUMENTED_FAMILIES: &[&str] = &[
     "ftl_epoch_full_rebuilds_total",
     "# TYPE ftl_epoch_swap_ns summary",
     "ftl_live_relabels_total",
+    // Chaos + resilient-client side (global registry; zero when the
+    // process drove no chaos proxy or retrying client).
+    "ftl_chaos_connections_total",
+    "ftl_chaos_resets_total",
+    "ftl_chaos_blackholes_total",
+    "ftl_chaos_garbage_total",
+    "ftl_chaos_shaped_total",
+    "ftl_client_retries_total",
+    "ftl_client_reconnects_total",
+    "ftl_client_backoffs_total",
+    "ftl_client_deadline_exceeded_total",
+    "ftl_client_giveups_total",
     // Server side.
     "ftl_server_batches_total",
     "ftl_server_groups_total",
@@ -53,6 +65,8 @@ const DOCUMENTED_FAMILIES: &[&str] = &[
     "ftl_server_engine_errors_total",
     "ftl_server_frame_errors_total",
     "ftl_server_slow_client_drops_total",
+    "ftl_server_deadline_drops_total",
+    "ftl_server_watchdog_fires_total",
     "ftl_server_connections_total",
     "ftl_server_tenant_requests_total",
     "ftl_server_tenant_queries_total",

@@ -6,6 +6,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ftl_chaos as chaos;
 pub use ftl_core as core_schemes;
 pub use ftl_cycle_space as cycle_space;
 pub use ftl_engine as engine;
